@@ -1,0 +1,130 @@
+"""Experiment E6 + ablations of the design choices DESIGN.md calls out.
+
+* breakeven-time sweep: energy/lifetime around the computed optimum
+  (validates the Block Control sizing story — Section III-A1);
+* update-period sweep: flush cost vs uniformity benefit (Section
+  III-A3's "updates can be very infrequent");
+* drowsy-voltage (eta) sensitivity: how the lifetime tables would move
+  with a different retention voltage — the paper's central calibrated
+  constant;
+* counter-width claim: 5-6 bit counters across the explored design
+  space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.lut import LifetimeLUT
+from repro.aging.nbti import NBTIModel
+from repro.cache.geometry import CacheGeometry
+from repro.core.architecture import summarize
+from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import FastSimulator
+from repro.trace.generator import WorkloadGenerator
+from repro.trace.mediabench import profile_for
+
+
+@pytest.fixture(scope="module")
+def workload():
+    geometry = CacheGeometry(16 * 1024, 16)
+    trace = WorkloadGenerator(geometry, num_windows=400).generate(
+        profile_for("cjpeg")
+    )
+    return geometry, trace, LifetimeLUT.default()
+
+
+def test_breakeven_ablation(benchmark, workload):
+    """Esav peaks near the computed breakeven; lifetime degrades slowly
+    as breakeven grows (less sleep per gap)."""
+    geometry, trace, lut = workload
+
+    def sweep():
+        rows = []
+        for breakeven in (5, 20, 80, 320):
+            config = ArchitectureConfig(
+                geometry, num_banks=4, policy="probing",
+                update_period_cycles=trace.horizon // 16,
+                breakeven_override=breakeven,
+            )
+            result = FastSimulator(config, lut).run(trace)
+            rows.append((breakeven, result.energy_savings, result.lifetime_years))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("breakeven  Esav     LT")
+    for breakeven, esav, lt in rows:
+        print(f"{breakeven:>9} {esav:6.1%} {lt:6.2f}y")
+    computed = ArchitectureConfig(geometry, num_banks=4).breakeven()
+    print(f"computed breakeven: {computed} cycles")
+    # Lifetime decreases monotonically with breakeven.
+    lifetimes = [lt for _, _, lt in rows]
+    assert all(a >= b for a, b in zip(lifetimes, lifetimes[1:]))
+    # A pathologically long breakeven wastes energy vs the computed one.
+    esavs = dict((b, e) for b, e, _ in rows)
+    assert esavs[320] < esavs[20]
+
+
+def test_update_period_ablation(workload):
+    """More updates -> better balance but more flush misses; the
+    lifetime benefit saturates once updates >= M."""
+    geometry, trace, lut = workload
+    static = FastSimulator(
+        ArchitectureConfig(geometry, num_banks=4, policy="static"), lut
+    ).run(trace)
+    print()
+    print("updates  LT      hit-rate cost")
+    lifetimes = {}
+    for updates in (2, 4, 16, 64):
+        config = ArchitectureConfig(
+            geometry, num_banks=4, policy="probing",
+            update_period_cycles=trace.horizon // updates,
+        )
+        result = FastSimulator(config, lut).run(trace)
+        cost = static.hit_rate - result.hit_rate
+        lifetimes[updates] = result.lifetime_years
+        print(f"{updates:>7} {result.lifetime_years:6.2f}y {cost:8.2%}")
+    assert lifetimes[16] > lifetimes[2]
+    assert lifetimes[64] == pytest.approx(lifetimes[16], rel=0.05)  # saturated
+
+
+def test_eta_sensitivity():
+    """Lifetime tables scale with the drowsy recovery efficiency eta:
+    the deeper the retention voltage, the closer sleep is to 'free'
+    recovery. Reports LT(I=0.42) for three retention points."""
+    print()
+    print("Vdd_low   gamma   eta    LT at I=0.42")
+    for vdd_low in (0.9, 0.66, 0.45):
+        model = NBTIModel(vdd_low=vdd_low)
+        eta = model.sleep_recovery_efficiency
+        lifetime = 2.93 / (1.0 - eta * 0.42)
+        print(f"{vdd_low:7.2f} {model.sleep_stress_factor:7.3f} {eta:6.3f} {lifetime:8.2f}y")
+    strong = NBTIModel(vdd_low=0.45).sleep_recovery_efficiency
+    weak = NBTIModel(vdd_low=0.9).sleep_recovery_efficiency
+    assert strong > weak
+
+
+def test_counter_width_claim():
+    """Section III-A1: '5- or 6-bit counters suffice' everywhere in the
+    explored design space."""
+    for size_kb in (8, 16, 32):
+        for banks in (2, 4, 8, 16):
+            config = ArchitectureConfig(
+                CacheGeometry(size_kb * 1024, 16), num_banks=banks
+            )
+            assert summarize(config).counter_width_bits <= 6
+
+
+def test_wiring_overhead_limits_partitioning(workload):
+    """Beyond M~16 the wiring overhead eats the banking benefit — the
+    reason the paper stops at 16 banks."""
+    geometry, trace, lut = workload
+    savings = {}
+    for banks in (4, 16, 64):
+        config = ArchitectureConfig(geometry, num_banks=banks, policy="static")
+        savings[banks] = FastSimulator(config, lut).run(trace).energy_savings
+    print(f"\nEsav vs M: {[(m, f'{s:.1%}') for m, s in savings.items()]}")
+    gain_4_to_16 = savings[16] - savings[4]
+    gain_16_to_64 = savings[64] - savings[16]
+    assert gain_16_to_64 < gain_4_to_16

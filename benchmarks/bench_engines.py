@@ -1,0 +1,67 @@
+"""Engine benchmarks: fast vs reference throughput, and scaling.
+
+Not a paper table — this is the reproduction's own engineering bench.
+It demonstrates the vectorized engine is fast enough for full-suite
+sweeps (it processes hundreds of thousands of accesses per call) and
+pins the exact-agreement contract while timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.lut import LifetimeLUT
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import FastSimulator
+from repro.core.simulator import ReferenceSimulator
+from repro.trace.generator import WorkloadGenerator
+from repro.trace.mediabench import profile_for
+
+
+@pytest.fixture(scope="module")
+def workload():
+    geometry = CacheGeometry(16 * 1024, 16)
+    trace = WorkloadGenerator(geometry, num_windows=300).generate(
+        profile_for("dijkstra")
+    )
+    config = ArchitectureConfig(
+        geometry,
+        num_banks=4,
+        policy="probing",
+        update_period_cycles=trace.horizon // 16,
+    )
+    return config, trace, LifetimeLUT.default()
+
+
+def test_fast_engine_throughput(benchmark, workload):
+    config, trace, lut = workload
+    result = benchmark(lambda: FastSimulator(config, lut).run(trace))
+    print(f"\nfast engine: {len(trace):,} accesses -> "
+          f"lifetime {result.lifetime_years:.2f}y")
+    assert result.total_accesses == len(trace)
+
+
+def test_reference_engine_throughput(benchmark, workload):
+    config, trace, lut = workload
+    short = trace.slice(0, trace.horizon // 10)
+    result = benchmark.pedantic(
+        lambda: ReferenceSimulator(config, lut).run(short), rounds=2, iterations=1
+    )
+    assert result.total_accesses == len(short)
+
+
+def test_engines_agree_while_timed(workload):
+    config, trace, lut = workload
+    short = trace.slice(0, trace.horizon // 10)
+    fast = FastSimulator(config, lut).run(short)
+    reference = ReferenceSimulator(config, lut).run(short)
+    assert fast.bank_stats == reference.bank_stats
+    assert fast.cache_stats.hits == reference.cache_stats.hits
+
+
+def test_trace_generation_throughput(benchmark):
+    geometry = CacheGeometry(16 * 1024, 16)
+    generator = WorkloadGenerator(geometry, num_windows=300)
+    trace = benchmark(lambda: generator.generate(profile_for("lame")))
+    assert len(trace) > 10_000

@@ -1,0 +1,73 @@
+"""Experiment E5 — §IV-B2's figure-like result: Probing vs Scrambling.
+
+The paper's argument, measured:
+
+* probing is perfectly uniform whenever the epoch count is a multiple
+  of M (error exactly 0);
+* scrambling's uniformity error decays with the number of updates (the
+  RNG repetition error goes as ~1/sqrt(N));
+* with enough updates the two policies deliver the same cache lifetime
+  ("de facto identical results").
+
+Also times the per-access mapping operation of each policy — the path
+that sits in front of the one-hot encoder on every cache access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.lfsr import GaloisLFSR
+from repro.indexing.analysis import (
+    mapping_histogram,
+    rng_repetition_error,
+    uniformity_error,
+)
+from repro.indexing.policies import make_policy
+
+
+def test_uniformity_convergence_series():
+    """Print the paper's convergence story as a table of errors."""
+    print()
+    print("uniformity error vs updates (M=4):")
+    print(f"{'epochs':>8} {'probing':>9} {'scrambling':>11}")
+    rows = []
+    for epochs in (4, 8, 16, 64, 256, 1024):
+        probing = uniformity_error(mapping_histogram(make_policy("probing", 4), epochs - 1))
+        scrambling = uniformity_error(
+            mapping_histogram(make_policy("scrambling", 4), epochs - 1)
+        )
+        rows.append((epochs, probing, scrambling))
+        print(f"{epochs:>8} {probing:>9.4f} {scrambling:>11.4f}")
+
+    # Probing: exact uniformity at every multiple of M.
+    assert all(p == 0.0 for _, p, _ in rows)
+    # Scrambling: large-N error far below small-N error.
+    assert rows[-1][2] < rows[0][2]
+    assert rows[-1][2] < 0.2
+
+
+def test_rng_error_inverse_sqrt_decay():
+    """The paper: RNG repetition error ~ 1/sqrt(N)."""
+    lfsr = GaloisLFSR(16, seed=0xACE1)
+    words = np.array([lfsr.step() & 0x3 for _ in range(65535)])
+    print()
+    print("LFSR repetition error vs N (ideal decay ~ 1/sqrt(N)):")
+    previous = None
+    for n in (64, 256, 1024, 4096, 16384, 65535):
+        error = rng_repetition_error(words[:n], 4)
+        print(f"  N={n:>6}: error={error:.4f}  (1/sqrt(N)={1/np.sqrt(n):.4f})")
+        if previous is not None and n >= 1024:
+            assert error <= previous * 1.2  # allow jitter, require decay
+        previous = error
+    assert rng_repetition_error(words, 4) < 0.01
+
+
+@pytest.mark.parametrize("policy_name", ["static", "probing", "scrambling"])
+def test_mapping_throughput(benchmark, policy_name):
+    """Per-epoch mapping vector construction (the fast engine's hot call)."""
+    policy = make_policy(policy_name, 16)
+    policy.update()
+    mapping = benchmark(policy.mapping)
+    assert sorted(mapping.tolist()) == list(range(16))

@@ -1,0 +1,41 @@
+"""Experiment E1 — regenerate Table I (idleness distribution, 4 banks).
+
+Prints the reproduced table next to the paper's published values and
+asserts the workload calibration holds: per-bank useful idleness within
+a few points of Table I, and the suite average near 41.71%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.compare import compare_table1, render_comparison
+from repro.experiments.paper_data import TABLE1_AVERAGE
+from repro.experiments.tables import table1
+
+
+def test_table1_reproduction(benchmark, fresh_runner):
+    """Time a cold regeneration of Table I, then check it against the paper."""
+    result = benchmark.pedantic(
+        lambda: table1(fresh_runner), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    cells, summary = compare_table1(result)
+    print(render_comparison(cells[:8], summary, "Table I vs paper (first rows)"))
+
+    assert summary["mean_abs_delta"] < 4.0, "idleness calibration drifted"
+    assert summary["max_abs_delta"] < 10.0
+
+    measured_average = float(result.rows[-1][5])
+    assert abs(measured_average - TABLE1_AVERAGE) < 5.0
+
+
+def test_table1_imbalance_motivation(warm_runner):
+    """The motivating observation: idleness is wildly unbalanced — for
+    several benchmarks the best bank is >20x idler than the worst."""
+    result = table1(warm_runner)
+    unbalanced = 0
+    for row in result.rows[:-1]:
+        values = [row[1 + b] for b in range(4)]
+        if max(values) > 20 * max(min(values), 1e-9):
+            unbalanced += 1
+    assert unbalanced >= 1

@@ -1,0 +1,59 @@
+"""Experiment E2 — regenerate Table II (energy + lifetime vs cache size)
+and E7 — the headline claims derived from it.
+
+Shape assertions (what must replicate):
+
+* Esav grows with cache size;
+* LT0 (static) is a modest improvement over the 2.93-year monolithic
+  baseline — the paper's "mere 9%";
+* LT (re-indexed) adds a large further extension at every size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.compare import compare_table2
+from repro.experiments.paper_data import CELL_LIFETIME_YEARS, TABLE2_AVERAGE
+from repro.experiments.tables import headline, table2
+
+
+def test_table2_reproduction(benchmark, fresh_runner):
+    """Time a cold regeneration of Table II, then check shape and values."""
+    result = benchmark.pedantic(
+        lambda: table2(fresh_runner), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    cells, summary = compare_table2(result)
+    print(
+        f"vs paper: {summary['count']} cells, mean|Δ|={summary['mean_abs_delta']:.2f}, "
+        f"mean|rel|={summary['mean_abs_rel']:.1%}"
+    )
+
+    average = result.row_for("Average")
+    # Esav monotone in size (paper: 32.2 -> 44.3 -> 55.5%).
+    assert average[1] < average[4] < average[7]
+    # Esav within a few points of the paper at 8/16kB; the 32kB column is
+    # the documented divergence (see EXPERIMENTS.md) and gets more slack.
+    assert abs(average[1] - TABLE2_AVERAGE[8192][0]) < 5.0
+    assert abs(average[4] - TABLE2_AVERAGE[16384][0]) < 5.0
+    assert abs(average[7] - TABLE2_AVERAGE[32768][0]) < 10.0
+    # Lifetimes: LT0 ~ 3.2y and LT ~ 4.3y at every size.
+    for lt0_col, lt_col, size in ((2, 3, 8192), (5, 6, 16384), (8, 9, 32768)):
+        assert abs(average[lt0_col] - TABLE2_AVERAGE[size][1]) < 0.35
+        assert abs(average[lt_col] - TABLE2_AVERAGE[size][2]) < 0.55
+        assert average[lt_col] > average[lt0_col]
+
+
+def test_headline_claims(warm_runner):
+    """E7: ~9% from power management alone; 22%..2x with re-indexing."""
+    result = headline(warm_runner)
+    print()
+    print(result.render())
+    rows = {row[0].split(" (")[0]: row[1] for row in result.rows}
+    pm_only = rows["power management only"]
+    worst = rows[[k for k in rows if k.startswith("worst")][0]]
+    best = rows[[k for k in rows if k.startswith("best")][0]]
+    assert 4.0 < pm_only < 16.0
+    assert worst > 0.0
+    assert best > 60.0
+    assert CELL_LIFETIME_YEARS == 2.93

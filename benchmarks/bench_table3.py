@@ -1,0 +1,39 @@
+"""Experiment E3 — regenerate Table III (energy + lifetime vs line size).
+
+Shape assertions:
+
+* Esav drops sharply when doubling the line to 32B (paper: 44.3 -> 31.9%
+  at 16kB — the per-row-dominated leakage makes a 16kB/32B cache behave
+  like an 8kB/16B one);
+* lifetime is nearly line-size independent (paper: 4.31 vs 4.23 years).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.compare import compare_table3
+from repro.experiments.paper_data import TABLE3_AVERAGE
+from repro.experiments.tables import table3
+
+
+def test_table3_reproduction(benchmark, fresh_runner):
+    result = benchmark.pedantic(
+        lambda: table3(fresh_runner), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    cells, summary = compare_table3(result)
+    print(
+        f"vs paper: {summary['count']} cells, mean|Δ|={summary['mean_abs_delta']:.2f}, "
+        f"mean|rel|={summary['mean_abs_rel']:.1%}"
+    )
+
+    average = result.row_for("Average")
+    esav_16, lt_16, esav_32, lt_32 = average[1], average[2], average[3], average[4]
+    # The big Esav drop.
+    assert esav_32 < esav_16 - 6.0
+    assert abs(esav_16 - TABLE3_AVERAGE[16][0]) < 5.0
+    assert abs(esav_32 - TABLE3_AVERAGE[32][0]) < 5.0
+    # Lifetime barely moves.
+    assert abs(lt_32 - lt_16) < 0.25
+    assert abs(lt_16 - TABLE3_AVERAGE[16][1]) < 0.45
+    assert abs(lt_32 - TABLE3_AVERAGE[32][1]) < 0.45

@@ -1,0 +1,47 @@
+"""Experiment E4 — regenerate Table IV (idleness/lifetime vs banks).
+
+Shape assertions:
+
+* both idleness and lifetime grow monotonically with M at every size;
+* M = 8 reaches roughly a 2x lifetime over the monolithic 2.93 years
+  (paper: 5.30-5.98y); M = 2 stays a modest improvement (3.34-3.68y);
+* absolute values within ~0.5y / a few idleness points of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.compare import compare_table4
+from repro.experiments.paper_data import CELL_LIFETIME_YEARS, TABLE4
+from repro.experiments.tables import table4
+
+
+def test_table4_reproduction(benchmark, fresh_runner):
+    result = benchmark.pedantic(
+        lambda: table4(fresh_runner), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    cells, summary = compare_table4(result)
+    print(
+        f"vs paper: {summary['count']} cells, mean|Δ|={summary['mean_abs_delta']:.2f}, "
+        f"mean|rel|={summary['mean_abs_rel']:.1%}"
+    )
+
+    for row in result.rows:
+        size = int(str(row[0]).rstrip("kB")) * 1024
+        idle2, lt2, idle4, lt4, idle8, lt8 = row[1:7]
+        # Monotone in M.
+        assert idle2 < idle4 < idle8
+        assert lt2 < lt4 < lt8
+        # M=8 ~ 2x, M=2 modest.
+        assert lt8 / CELL_LIFETIME_YEARS > 1.7
+        assert lt2 / CELL_LIFETIME_YEARS < 1.35
+        # Absolute agreement. The synthetic workloads' idleness is
+        # size-independent by construction while the paper's drifts a
+        # few points upward with cache size (see EXPERIMENTS.md), so the
+        # M=8 column gets extra slack at 32kB.
+        for banks, (idle, lt) in ((2, (idle2, lt2)), (4, (idle4, lt4)), (8, (idle8, lt8))):
+            paper_idle, paper_lt = TABLE4[(size, banks)]
+            tolerance = 0.80 if banks == 8 else 0.55
+            assert abs(lt - paper_lt) < tolerance, (size, banks)
+            assert abs(idle - paper_idle) < 12.0, (size, banks)

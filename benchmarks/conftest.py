@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_table*.py`` regenerates one of the paper's tables and
+prints it next to the published numbers. Two sizes are supported:
+
+* default: *quick* settings (6 benchmarks, 400-window traces) so the
+  whole harness runs in a couple of minutes;
+* ``REPRO_BENCH_FULL=1``: the full 18-benchmark, 1500-window runs used
+  for EXPERIMENTS.md.
+
+The lifetime LUT is built once up front so cell characterization never
+pollutes a timing measurement.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.aging.lut import LifetimeLUT
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.suite import ExperimentSettings
+
+
+def make_settings() -> ExperimentSettings:
+    """Quick settings by default; full with REPRO_BENCH_FULL=1."""
+    settings = ExperimentSettings()
+    if not os.environ.get("REPRO_BENCH_FULL"):
+        settings = settings.quick()
+    return settings
+
+
+@pytest.fixture(scope="session")
+def lut() -> LifetimeLUT:
+    """The calibrated lifetime LUT, built before any timing starts."""
+    return LifetimeLUT.default()
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return make_settings()
+
+
+@pytest.fixture()
+def fresh_runner(settings, lut) -> ExperimentRunner:
+    """A cold runner: traces and simulations run inside the timed call."""
+    return ExperimentRunner(settings=settings, lut=lut)
+
+
+@pytest.fixture(scope="session")
+def warm_runner(settings, lut) -> ExperimentRunner:
+    """A shared runner reused by assertion-only checks."""
+    return ExperimentRunner(settings=settings, lut=lut)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Bring your own workload: trace files and hand-built traces.
+
+The library is not tied to the bundled MediaBench-like profiles — any
+timed address stream drives the same architecture. This example:
+
+1. builds a pathological "hot bank" trace by hand (all accesses land in
+   one bank) — the worst case for a conventional partition and the best
+   showcase for dynamic indexing;
+2. saves/loads it through the text trace format, showing the on-disk
+   interchange point for users with real traces (e.g. from gem5 or pin);
+3. runs both simulation engines on it and checks they agree.
+
+Run:  python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import ArchitectureConfig, CacheGeometry, Trace, simulate
+from repro.trace.io import load_trace, save_trace
+
+
+def build_hot_bank_trace(geometry: CacheGeometry, cycles_total: int = 400_000) -> Trace:
+    """All activity in bank 0's index range, with long global pauses."""
+    rng = np.random.default_rng(99)
+    bank_sets = geometry.num_sets // 4
+    cycles = []
+    addresses = []
+    cycle = 0
+    while cycle < cycles_total:
+        # A burst of 200 accesses to bank 0, every ~4 cycles ...
+        for _ in range(200):
+            index = int(rng.integers(0, bank_sets))  # bank 0's sets
+            addresses.append(index * geometry.line_size)
+            cycles.append(cycle)
+            cycle += int(rng.integers(2, 6))
+        # ... then the whole cache idles for ~2000 cycles.
+        cycle += 2000
+    return Trace(
+        np.asarray(cycles, dtype=np.int64),
+        np.asarray(addresses, dtype=np.int64),
+        horizon=cycle + 1,
+        name="hot-bank",
+    )
+
+
+def main() -> None:
+    geometry = CacheGeometry(16 * 1024, 16)
+    trace = build_hot_bank_trace(geometry)
+
+    # Round-trip through the interchange format.
+    with tempfile.NamedTemporaryFile(suffix=".trc", delete=False) as handle:
+        path = handle.name
+    save_trace(trace, path)
+    trace = load_trace(path)
+    print(f"loaded {len(trace):,} accesses from {path}")
+
+    static = ArchitectureConfig(geometry, num_banks=4, policy="static")
+    probing = ArchitectureConfig(
+        geometry, num_banks=4, policy="probing",
+        update_period_cycles=trace.horizon // 8,
+    )
+
+    for label, config in (("static", static), ("probing", probing)):
+        fast = simulate(config, trace, engine="fast")
+        reference = simulate(config, trace, engine="reference")
+        assert fast.bank_stats == reference.bank_stats, "engines disagree!"
+        idle = ", ".join(f"{v:.0%}" for v in fast.bank_idleness)
+        print(
+            f"{label:>8}: lifetime {fast.lifetime_years:5.2f} y, "
+            f"bank idleness [{idle}] (engines agree)"
+        )
+
+    print()
+    print("Under static indexing bank 0 never rests while banks 1-3 sleep")
+    print("almost permanently — the cache dies at bank 0's pace. Probing")
+    print("rotates the hot set across all four banks, recovering most of")
+    print("the lifetime that the idleness makes available.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Design-space exploration: lifetime vs banks, policy and update count.
+
+Reproduces, for a single benchmark, the architectural exploration of the
+paper's Section IV-B3 (number of banks) plus a study the paper only
+alludes to: how many re-indexing updates probing and scrambling need
+before the idleness distribution — and therefore lifetime — converges.
+
+Run:  python examples/lifetime_exploration.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    ArchitectureConfig,
+    CacheGeometry,
+    WorkloadGenerator,
+    profile_for,
+    simulate,
+)
+from repro.utils.tables import format_table
+
+
+def bank_sweep(geometry, trace) -> None:
+    """Lifetime vs M for static and probing indexing (Table IV's axis)."""
+    rows = []
+    for banks in (1, 2, 4, 8, 16):
+        cells: list = [banks]
+        for policy in ("static", "probing"):
+            if policy != "static" and banks == 1:
+                cells.extend([None, None])
+                continue
+            config = ArchitectureConfig(
+                geometry,
+                num_banks=banks,
+                policy=policy,
+                power_managed=banks > 1,
+                update_period_cycles=(
+                    trace.horizon // 32 if policy != "static" else None
+                ),
+            )
+            result = simulate(config, trace)
+            cells.extend([result.lifetime_years, 100 * result.average_idleness])
+        rows.append(cells)
+    print(
+        format_table(
+            ["M", "LT static [y]", "idle [%]", "LT probing [y]", "idle' [%]"],
+            rows,
+            title=f"bank-count sweep — {trace.name}",
+        )
+    )
+
+
+def update_convergence(geometry, trace) -> None:
+    """How many updates until dynamic indexing reaches its full benefit."""
+    rows = []
+    for updates in (2, 4, 8, 16, 32, 64):
+        cells: list = [updates]
+        for policy in ("probing", "scrambling"):
+            config = ArchitectureConfig(
+                geometry,
+                num_banks=4,
+                policy=policy,
+                update_period_cycles=max(1, trace.horizon // updates),
+            )
+            result = simulate(config, trace)
+            cells.append(result.lifetime_years)
+        rows.append(cells)
+    print()
+    print(
+        format_table(
+            ["updates", "LT probing [y]", "LT scrambling [y]"],
+            rows,
+            title="update-count convergence (probing is uniform once "
+            "updates >= M; scrambling approaches it as 1/sqrt(N))",
+        )
+    )
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "adpcm.dec"
+    geometry = CacheGeometry(16 * 1024, 16)
+    trace = WorkloadGenerator(geometry, num_windows=800).generate(
+        profile_for(benchmark)
+    )
+    bank_sweep(geometry, trace)
+    update_convergence(geometry, trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark on the paper's reference cache.
+
+Builds the paper's reference configuration (16kB direct-mapped cache,
+16-byte lines, M = 4 uniform banks), generates the synthetic `sha`
+workload, and compares three architectures:
+
+* the monolithic, unmanaged cache (the paper's baseline);
+* a conventional power-managed partitioned cache (static indexing);
+* the paper's proposal: partitioned + probing dynamic indexing.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ArchitectureConfig,
+    CacheGeometry,
+    WorkloadGenerator,
+    profile_for,
+    simulate,
+)
+
+
+def main() -> None:
+    geometry = CacheGeometry(size_bytes=16 * 1024, line_size=16)
+
+    # Synthetic MediaBench-like workload, calibrated to the paper's
+    # Table I idleness signature for `sha`.
+    generator = WorkloadGenerator(geometry, num_windows=800)
+    trace = generator.generate(profile_for("sha"))
+    print(
+        f"workload: {trace.name}, {len(trace):,} accesses over "
+        f"{trace.horizon:,} cycles ({trace.access_density:.2f}/cycle)"
+    )
+
+    monolithic = ArchitectureConfig(geometry).monolithic()
+    static = ArchitectureConfig(geometry, num_banks=4, policy="static")
+    probing = ArchitectureConfig(
+        geometry,
+        num_banks=4,
+        policy="probing",
+        update_period_cycles=trace.horizon // 16,
+    )
+
+    print()
+    for label, config in [
+        ("monolithic (baseline)", monolithic),
+        ("partitioned, static", static),
+        ("partitioned + probing", probing),
+    ]:
+        result = simulate(config, trace)
+        idle = ", ".join(f"{v:.0%}" for v in result.bank_idleness)
+        print(f"{label:>22}: lifetime = {result.lifetime_years:5.2f} years   "
+              f"Esav = {result.energy_savings:6.1%}   "
+              f"hit rate = {result.hit_rate:.1%}   "
+              f"bank idleness = [{idle}]")
+
+    print()
+    print("The static partition barely helps lifetime: aging follows the")
+    print("*least* idle bank. Probing re-indexing spreads the idleness, so")
+    print("every bank recovers equally and the cache outlives the baseline.")
+
+
+if __name__ == "__main__":
+    main()

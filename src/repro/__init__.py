@@ -1,0 +1,94 @@
+"""repro — reproduction of *Partitioned Cache Architectures for Reduced
+NBTI-Induced Aging* (A. Calimera, M. Loghi, E. Macii, M. Poncino,
+DATE 2011).
+
+The library implements the paper's complete stack from scratch:
+
+* a trace-driven **cache simulator** (direct-mapped and set-associative,
+  monolithic and M-bank partitioned) — :mod:`repro.cache`;
+* the **decoder/remapper hardware** of Figures 1-3 (one-hot encoder,
+  saturating idle counters, LFSR, probing/scrambling datapaths) —
+  :mod:`repro.hw`;
+* **power management** (drowsy banks, breakeven times, a calibrated
+  45nm-like energy model) — :mod:`repro.power`;
+* **NBTI aging physics** (reaction-diffusion Vth drift, butterfly-curve
+  read SNM of a 6T cell, lifetime LUT) — :mod:`repro.aging`;
+* the paper's **dynamic indexing policies** — :mod:`repro.indexing`;
+* two agreeing **simulation engines** and the architecture glue —
+  :mod:`repro.core`;
+* synthetic **MediaBench-like workloads** calibrated to the paper's
+  Table I — :mod:`repro.trace`;
+* the **experiment harness** regenerating Tables I-IV —
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro import (ArchitectureConfig, CacheGeometry, WorkloadGenerator,
+...                    profile_for, simulate)
+>>> geometry = CacheGeometry(size_bytes=16 * 1024, line_size=16)
+>>> trace = WorkloadGenerator(geometry, num_windows=200).generate(profile_for("sha"))
+>>> config = ArchitectureConfig(geometry, num_banks=4, policy="probing",
+...                             update_period_cycles=trace.horizon // 8)
+>>> result = simulate(config, trace)
+>>> result.lifetime_years > 2.93
+True
+"""
+
+from repro.aging import CharacterizationFramework, LifetimeLUT, NBTIModel, SRAMCellSpec
+from repro.cache import BankedCache, CacheGeometry, DirectMappedCache, SetAssociativeCache
+from repro.core import (
+    ArchitectureConfig,
+    FastSimulator,
+    ReferenceSimulator,
+    SimulationResult,
+    simulate,
+    summarize,
+)
+from repro.analysis import pareto_front, sweep
+from repro.core.serialize import load_results, save_results
+from repro.errors import ReproError
+from repro.experiments import ExperimentRunner, ExperimentSettings
+from repro.finegrain import FineGrainConfig, FineGrainSimulator
+from repro.hw.overhead import estimate_overhead
+from repro.indexing import make_policy
+from repro.power import EnergyModel, TechnologyParams, breakeven_cycles
+from repro.trace import Trace, WorkloadGenerator, profile_for
+from repro.trace.stats import profile_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CacheGeometry",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "BankedCache",
+    "ArchitectureConfig",
+    "ReferenceSimulator",
+    "FastSimulator",
+    "SimulationResult",
+    "simulate",
+    "summarize",
+    "Trace",
+    "WorkloadGenerator",
+    "profile_for",
+    "make_policy",
+    "EnergyModel",
+    "TechnologyParams",
+    "breakeven_cycles",
+    "NBTIModel",
+    "SRAMCellSpec",
+    "CharacterizationFramework",
+    "LifetimeLUT",
+    "ExperimentRunner",
+    "ExperimentSettings",
+    "FineGrainConfig",
+    "FineGrainSimulator",
+    "sweep",
+    "pareto_front",
+    "estimate_overhead",
+    "profile_trace",
+    "save_results",
+    "load_results",
+]

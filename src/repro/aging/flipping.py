@@ -1,0 +1,81 @@
+"""Content-flipping mitigation baselines (related work, Section II-B).
+
+Two of the paper's cited alternatives attack the *value* axis instead of
+the *idleness* axis:
+
+* Kumar et al. [11] periodically invert the entire memory content so
+  each pull-up is stressed ~50% of the time;
+* Kunitake et al. [15] flip at word granularity every few thousand
+  cycles using a per-word flip bit.
+
+Both drive the effective '0'-probability toward 0.5 — the best case for
+a symmetric cell — but do nothing about idleness, so their benefit is
+bounded and *independent* of the partitioning/indexing machinery (the
+two compose). This module models the schemes well enough to compare
+them against (and combine them with) the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aging.cell import CharacterizationFramework
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class FlipScheme:
+    """A periodic content-inversion scheme.
+
+    Attributes
+    ----------
+    flip_fraction:
+        Fraction of time the stored content is inverted. 0.5 models an
+        ideal scheme (half the lifetime spent inverted); word-level
+        schemes with fast flip periods get arbitrarily close to it.
+    """
+
+    flip_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flip_fraction <= 1.0:
+            raise ModelError("flip_fraction must be in [0,1]")
+
+    def effective_p0(self, content_p0: float) -> float:
+        """Effective '0'-probability under flipping.
+
+        While inverted, a stored 0 stresses the complementary pull-up:
+        ``p0_eff = (1-f)·p0 + f·(1-p0)``. At f = 0.5 the duty is exactly
+        balanced regardless of the content statistics.
+        """
+        if not 0.0 <= content_p0 <= 1.0:
+            raise ModelError("content p0 must be in [0,1]")
+        f = self.flip_fraction
+        return (1.0 - f) * content_p0 + f * (1.0 - content_p0)
+
+
+def flip_lifetime_years(
+    framework: CharacterizationFramework,
+    content_p0: float,
+    scheme: FlipScheme | None = None,
+    psleep: float = 0.0,
+) -> float:
+    """Cell lifetime under a flip scheme (optionally combined with sleep)."""
+    scheme = scheme if scheme is not None else FlipScheme()
+    return framework.lifetime_years(scheme.effective_p0(content_p0), psleep)
+
+
+def flip_gain(
+    framework: CharacterizationFramework,
+    content_p0: float,
+    scheme: FlipScheme | None = None,
+) -> float:
+    """Lifetime ratio of flipped vs unflipped for given content statistics.
+
+    Equals 1.0 for already-balanced content (p0 = 0.5): flipping buys
+    nothing — which is why the idleness lever matters for caches, whose
+    bank-level content statistics are close to balanced.
+    """
+    base = framework.lifetime_years(content_p0, 0.0)
+    flipped = flip_lifetime_years(framework, content_p0, scheme)
+    return flipped / base

@@ -1,0 +1,150 @@
+"""Temperature dependence of NBTI aging.
+
+NBTI is thermally activated: the interface-trap generation rate follows
+an Arrhenius law, so a hotter bank ages faster. The paper characterizes
+at fixed PVT ("user-defined PVT operating conditions"); this module adds
+the T axis so two effects can be studied:
+
+* global operating temperature: how the lifetime tables shift between
+  ambient and hot-spot conditions;
+* *activity-driven* per-bank temperature: a bank that serves most of
+  the accesses is also the hottest, which **compounds** the idleness
+  imbalance the paper fights — and dynamic indexing balances both at
+  once, since rotating the hot set also rotates the heat.
+
+Model: the drift prefactor scales as ``exp(-Ea/kT)`` with an activation
+energy of ~0.1 eV for the long-term drift component, referenced to the
+characterization temperature (80°C, a typical embedded hot-spot spec).
+With ``ΔVth = b(T)·(α·t)^n`` and a fixed critical shift, lifetime
+scales as ``(b(Tref)/b(T)) ** (1/n)`` — the 1/n exponent makes
+temperature a very strong lever, matching the experimentally observed
+sensitivity of NBTI lifetimes to operating temperature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aging.nbti import NBTIModel
+from repro.errors import ModelError
+
+#: Boltzmann constant, eV/K.
+BOLTZMANN_EV: float = 8.617333e-5
+
+#: Characterization reference temperature (°C).
+REFERENCE_CELSIUS: float = 80.0
+
+#: Activation energy of the long-term NBTI drift prefactor (eV).
+DEFAULT_ACTIVATION_EV: float = 0.08
+
+
+def _kelvin(celsius: float) -> float:
+    if celsius < -273.15:
+        raise ModelError(f"temperature below absolute zero: {celsius}°C")
+    return celsius + 273.15
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Arrhenius scaling of the NBTI prefactor.
+
+    Attributes
+    ----------
+    activation_ev:
+        Activation energy of the drift prefactor, eV.
+    reference_celsius:
+        Temperature at which the base model was calibrated.
+    """
+
+    activation_ev: float = DEFAULT_ACTIVATION_EV
+    reference_celsius: float = REFERENCE_CELSIUS
+
+    def __post_init__(self) -> None:
+        if self.activation_ev <= 0:
+            raise ModelError("activation energy must be positive")
+        _kelvin(self.reference_celsius)
+
+    def prefactor_scale(self, celsius: float) -> float:
+        """``b(T) / b(Tref)`` — the drift-rate multiplier at ``celsius``."""
+        t = _kelvin(celsius)
+        t_ref = _kelvin(self.reference_celsius)
+        return float(
+            np.exp(-(self.activation_ev / BOLTZMANN_EV) * (1.0 / t - 1.0 / t_ref))
+        )
+
+    def lifetime_scale(self, celsius: float, time_exponent: float = 1.0 / 6.0) -> float:
+        """Lifetime multiplier at ``celsius`` relative to the reference.
+
+        With ``ΔVth = b(T)·(α·t)^n`` and a fixed critical shift,
+        ``t_life ∝ b(T)^(-1/n)``.
+        """
+        if not 0 < time_exponent < 1:
+            raise ModelError("time exponent must lie in (0,1)")
+        return self.prefactor_scale(celsius) ** (-1.0 / time_exponent)
+
+    def at_temperature(self, model: NBTIModel, celsius: float) -> NBTIModel:
+        """Return ``model`` re-scaled to operate at ``celsius``."""
+        return model.with_prefactor(model.prefactor * self.prefactor_scale(celsius))
+
+
+@dataclass(frozen=True)
+class BankThermalProfile:
+    """Activity-driven per-bank steady-state temperatures.
+
+    A simple lumped model: each bank sits at
+    ``ambient + rise_per_activity · utilization`` where utilization is
+    the bank's share of busy (non-drowsy) time. This captures the
+    first-order coupling the module docstring describes without a full
+    floorplan thermal solver.
+    """
+
+    ambient_celsius: float = 45.0
+    rise_per_activity: float = 35.0
+
+    def __post_init__(self) -> None:
+        _kelvin(self.ambient_celsius)
+        if self.rise_per_activity < 0:
+            raise ModelError("temperature rise must be non-negative")
+
+    def bank_temperatures(self, sleep_fractions: Sequence[float]) -> np.ndarray:
+        """Per-bank temperature from per-bank sleep fractions."""
+        sleep = np.asarray(sleep_fractions, dtype=float)
+        if sleep.size == 0:
+            raise ModelError("need at least one bank")
+        if sleep.min() < 0.0 or sleep.max() > 1.0:
+            raise ModelError("sleep fractions must be in [0,1]")
+        activity = 1.0 - sleep
+        return self.ambient_celsius + self.rise_per_activity * activity
+
+
+def thermal_bank_lifetimes(
+    sleep_fractions: Sequence[float],
+    base_lifetime_years: float = 2.93,
+    eta: float = 0.75,
+    thermal: ThermalModel | None = None,
+    profile: BankThermalProfile | None = None,
+    time_exponent: float = 1.0 / 6.0,
+) -> np.ndarray:
+    """Per-bank lifetimes with both sleep recovery and self-heating.
+
+    Combines the linearized sleep law (LT = base / (1 - eta·I)) with the
+    Arrhenius lifetime scale at each bank's activity-driven temperature.
+    The reference temperature is assumed for a 50%-active bank, keeping
+    the nominal tables comparable.
+    """
+    thermal = thermal if thermal is not None else ThermalModel()
+    profile = profile if profile is not None else BankThermalProfile()
+    sleep = np.asarray(sleep_fractions, dtype=float)
+    temps = profile.bank_temperatures(sleep)
+    reference_temp = profile.ambient_celsius + profile.rise_per_activity * 0.5
+    lifetimes = np.empty_like(sleep)
+    for i, (s, t) in enumerate(zip(sleep, temps)):
+        sleep_term = base_lifetime_years / (1.0 - eta * float(s))
+        scale = thermal.lifetime_scale(float(t), time_exponent) / thermal.lifetime_scale(
+            reference_temp, time_exponent
+        )
+        lifetimes[i] = sleep_term * scale
+    return lifetimes

@@ -1,0 +1,12 @@
+"""Design-space analysis utilities.
+
+* :mod:`repro.analysis.sweep` — declarative parameter sweeps over the
+  simulator with structured, filterable results;
+* :mod:`repro.analysis.pareto` — Pareto-front extraction for the
+  energy/lifetime trade-off space the paper's Section V frames.
+"""
+
+from repro.analysis.pareto import pareto_front
+from repro.analysis.sweep import SweepPoint, SweepResult, sweep
+
+__all__ = ["sweep", "SweepPoint", "SweepResult", "pareto_front"]

@@ -1,0 +1,66 @@
+"""Pareto-front extraction for multi-objective design points.
+
+The paper's closing argument is a two-objective story (energy saving
+and lifetime are *jointly* improved by partitioned drowsy caches with
+dynamic indexing). This helper extracts the non-dominated subset of any
+sweep so examples and benches can print the actual frontier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def pareto_front(
+    items: Sequence,
+    objectives: Sequence[Callable[[object], float]],
+    maximize: Sequence[bool] | None = None,
+) -> list:
+    """Return the non-dominated items under the given objectives.
+
+    Parameters
+    ----------
+    items:
+        Candidate design points (any objects).
+    objectives:
+        Callables mapping an item to a score.
+    maximize:
+        Per-objective direction; defaults to maximizing all.
+
+    An item is dominated when another item is at least as good on every
+    objective and strictly better on at least one. Ties survive (both
+    points are kept), so the front is never empty for non-empty input.
+
+    >>> points = [(1, 5), (2, 4), (2, 5), (0, 0)]
+    >>> pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+    [(2, 5)]
+    """
+    if not objectives:
+        raise ConfigurationError("need at least one objective")
+    directions = list(maximize) if maximize is not None else [True] * len(objectives)
+    if len(directions) != len(objectives):
+        raise ConfigurationError("maximize flags must match objectives")
+
+    def scores(item) -> list[float]:
+        return [
+            obj(item) if up else -obj(item)
+            for obj, up in zip(objectives, directions)
+        ]
+
+    scored = [(item, scores(item)) for item in items]
+    front = []
+    for item, s in scored:
+        dominated = False
+        for _, other in scored:
+            if other is s:
+                continue
+            if all(o >= v for o, v in zip(other, s)) and any(
+                o > v for o, v in zip(other, s)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front

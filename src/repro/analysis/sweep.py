@@ -1,0 +1,109 @@
+"""Declarative parameter sweeps over the simulator.
+
+A sweep is a cartesian product of named parameter axes applied to a
+base :class:`~repro.core.config.ArchitectureConfig` via
+``dataclasses.replace``, each point simulated on a shared trace with the
+fast engine. Results come back as :class:`SweepResult`, a small
+query-friendly container used by the ablation benches and the
+exploration example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.aging.lut import LifetimeLUT
+from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import FastSimulator
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated point: the parameter assignment and its result."""
+
+    parameters: dict
+    result: SimulationResult
+
+    def value(self, metric: str):
+        """Read a metric off the result by attribute name."""
+        return getattr(self.result, metric)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep."""
+
+    points: tuple[SweepPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def where(self, **constraints) -> "SweepResult":
+        """Filter points whose parameters match all ``constraints``."""
+        kept = tuple(
+            p
+            for p in self.points
+            if all(p.parameters.get(k) == v for k, v in constraints.items())
+        )
+        return SweepResult(points=kept)
+
+    def series(self, axis: str, metric: str) -> list[tuple[object, float]]:
+        """(axis value, metric) pairs sorted by axis value."""
+        pairs = [(p.parameters[axis], p.value(metric)) for p in self.points]
+        return sorted(pairs, key=lambda pair: pair[0])
+
+    def best(self, metric: str, maximize: bool = True) -> SweepPoint:
+        """The point optimizing ``metric``."""
+        if not self.points:
+            raise ConfigurationError("empty sweep has no best point")
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p.value(metric))
+
+
+def sweep(
+    base: ArchitectureConfig,
+    trace: Trace,
+    axes: dict[str, list],
+    lut: LifetimeLUT | None = None,
+) -> SweepResult:
+    """Simulate the cartesian product of ``axes`` over ``base``.
+
+    Parameters
+    ----------
+    base:
+        Configuration template; each axis name must be a field of
+        :class:`ArchitectureConfig` (e.g. ``num_banks``, ``policy``,
+        ``breakeven_override``, ``update_period_cycles``).
+    trace:
+        Shared workload.
+    axes:
+        Mapping of field name to the values to explore.
+
+    >>> # doctest-style sketch (not executed here):
+    >>> # result = sweep(cfg, trace, {"num_banks": [2, 4, 8]})
+    """
+    if not axes:
+        raise ConfigurationError("sweep needs at least one axis")
+    field_names = {f for f in ArchitectureConfig.__dataclass_fields__}
+    for name in axes:
+        if name not in field_names:
+            raise ConfigurationError(
+                f"{name!r} is not an ArchitectureConfig field"
+            )
+    shared_lut = lut if lut is not None else LifetimeLUT.default()
+
+    names = list(axes)
+    points = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        assignment = dict(zip(names, combo))
+        config = replace(base, **assignment)
+        result = FastSimulator(config, shared_lut).run(trace)
+        points.append(SweepPoint(parameters=assignment, result=result))
+    return SweepResult(points=tuple(points))

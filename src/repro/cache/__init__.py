@@ -1,0 +1,32 @@
+"""Cache simulator substrate.
+
+A small trace-driven cache model family:
+
+* :mod:`repro.cache.geometry` — sizes, index/tag/offset arithmetic;
+* :mod:`repro.cache.directmapped` — the paper's cache organization;
+* :mod:`repro.cache.setassoc` — LRU set-associative generalization
+  (the dynamic-indexing architecture is agnostic to associativity, so
+  the library supports it even though the paper evaluates direct-mapped
+  caches);
+* :mod:`repro.cache.banked` — an M-bank uniformly partitioned cache
+  routed through the decoder of :mod:`repro.hw.decoder`;
+* :mod:`repro.cache.stats` — hit/miss and per-bank counters.
+
+All models are *functional* (hit/miss and content tracking only); timing
+and power are layered on top by :mod:`repro.core`.
+"""
+
+from repro.cache.banked import BankedCache
+from repro.cache.directmapped import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import AccessOutcome, CacheStats
+
+__all__ = [
+    "CacheGeometry",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "BankedCache",
+    "CacheStats",
+    "AccessOutcome",
+]

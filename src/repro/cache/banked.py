@@ -1,0 +1,122 @@
+"""M-bank uniformly partitioned cache (Figure 1a).
+
+Composes the decoder *D* (:class:`repro.hw.decoder.BankDecoder`) with M
+identical sub-arrays, each one a standard memory-compiler block modelled
+by :class:`~repro.cache.directmapped.DirectMappedCache` (or any object
+with the same ``access``/``flush`` interface).
+
+Remapping correctness: within one re-indexing epoch the mapping f() is a
+bijection on banks, so no two live addresses collide; across epochs the
+cache is flushed when the mapping changes (Section III-A3: "every time
+the indexing is updated ... a cache flush is required"). The functional
+model additionally stores the logical bank bits with each tag, which
+keeps the model correct even if a caller forgets to flush — a mapping
+change then simply turns stale lines into misses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cache.directmapped import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import AccessOutcome, BankedCacheStats
+from repro.errors import GeometryError
+from repro.hw.decoder import BankDecoder, DecodedAccess
+from repro.hw.remap import StaticRemapper
+
+
+class BankedCache:
+    """A cache of ``num_banks`` uniform banks behind decoder D.
+
+    Parameters
+    ----------
+    geometry:
+        Overall cache geometry.
+    num_banks:
+        ``M = 2**p``; must not exceed the number of sets.
+    remapper:
+        The f() datapath (static, probing or scrambling). Defaults to
+        the identity (conventional partitioned cache).
+    array_factory:
+        Constructor for each bank's array model, taking the per-bank
+        geometry; defaults to :class:`DirectMappedCache` (the paper's
+        configuration) when ``geometry.ways == 1`` and the LRU
+        set-associative model otherwise.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        num_banks: int,
+        remapper: StaticRemapper | None = None,
+        array_factory: Callable[[CacheGeometry], object] | None = None,
+    ) -> None:
+        if num_banks > geometry.num_sets:
+            raise GeometryError(
+                f"{num_banks} banks exceed {geometry.num_sets} sets"
+            )
+        self.geometry = geometry
+        self.num_banks = num_banks
+        self.decoder = BankDecoder(geometry.num_sets, num_banks, remapper)
+        self.bank_geometry = CacheGeometry(
+            size_bytes=geometry.size_bytes // num_banks,
+            line_size=geometry.line_size,
+            ways=geometry.ways,
+        )
+        if array_factory is None:
+            if geometry.ways == 1:
+                array_factory = DirectMappedCache
+            else:
+                from repro.cache.setassoc import SetAssociativeCache
+
+                array_factory = SetAssociativeCache
+        self.banks = [array_factory(self.bank_geometry) for _ in range(num_banks)]
+        self.stats = BankedCacheStats(bank_accesses=[0] * num_banks)
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def route(self, address: int) -> DecodedAccess:
+        """Route ``address`` through decoder D without touching the arrays."""
+        return self.decoder.decode(self.geometry.index_of(address))
+
+    def access(self, address: int) -> tuple[AccessOutcome, DecodedAccess]:
+        """Perform one access; return its outcome and the routing record."""
+        tag, index, _ = self.geometry.split(address)
+        decoded = self.decoder.decode(index)
+        # Extended tag: original tag plus the logical bank bits (see
+        # module docstring for why this is safe and convenient).
+        extended_tag = (tag << self.decoder.bank_bits) | decoded.logical_bank
+        bank_address = self.bank_geometry.address_for(
+            extended_tag, decoded.line_in_bank
+        )
+        outcome = self.banks[decoded.physical_bank].access(bank_address)
+        self.stats.record_bank(decoded.physical_bank, outcome)
+        return outcome, decoded
+
+    # ------------------------------------------------------------------
+    # Management operations
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Invalidate all banks; return the number of dropped lines."""
+        dropped = sum(bank.flush() for bank in self.banks)
+        self.stats.flushes += 1
+        return dropped
+
+    def update_mapping(self) -> int:
+        """Pulse the update signal: advance f() and flush (paper's rule).
+
+        Returns the number of lines invalidated by the flush. In a real
+        system the update is piggybacked on a flush that is happening
+        anyway (e.g. on a context switch), making it free; the simulator
+        accounts the induced misses explicitly so the claim can be
+        checked.
+        """
+        self.decoder.remapper.update()
+        return self.flush()
+
+    @property
+    def valid_lines(self) -> int:
+        """Total valid lines across banks."""
+        return sum(bank.valid_lines for bank in self.banks)

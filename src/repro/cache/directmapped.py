@@ -1,0 +1,62 @@
+"""Direct-mapped cache model (the paper's configuration).
+
+Functional model: one tag per line plus a valid bit; an access hits when
+the indexed line is valid and holds the address's tag. Contents are not
+stored (trace-driven simulation needs hit/miss behaviour only).
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import AccessOutcome, CacheStats
+from repro.errors import GeometryError
+
+
+class DirectMappedCache:
+    """A direct-mapped cache over ``geometry``.
+
+    Parameters
+    ----------
+    geometry:
+        Must have ``ways == 1``.
+
+    Examples
+    --------
+    >>> cache = DirectMappedCache(CacheGeometry(1024, 16))
+    >>> cache.access(0x40).name, cache.access(0x40).name
+    ('MISS', 'HIT')
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        if geometry.ways != 1:
+            raise GeometryError("DirectMappedCache requires ways == 1")
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._tags: list[int | None] = [None] * geometry.num_lines
+
+    def access(self, address: int) -> AccessOutcome:
+        """Look up ``address``; allocate on miss; return the outcome."""
+        tag, index, _ = self.geometry.split(address)
+        outcome = (
+            AccessOutcome.HIT if self._tags[index] == tag else AccessOutcome.MISS
+        )
+        self._tags[index] = tag
+        self.stats.record(outcome)
+        return outcome
+
+    def probe(self, address: int) -> bool:
+        """Non-allocating lookup: True if ``address`` would hit."""
+        tag, index, _ = self.geometry.split(address)
+        return self._tags[index] == tag
+
+    def flush(self) -> int:
+        """Invalidate every line; return how many valid lines were dropped."""
+        dropped = sum(1 for t in self._tags if t is not None)
+        self._tags = [None] * self.geometry.num_lines
+        self.stats.flushes += 1
+        return dropped
+
+    @property
+    def valid_lines(self) -> int:
+        """Number of currently valid lines."""
+        return sum(1 for t in self._tags if t is not None)

@@ -1,0 +1,113 @@
+"""Cache geometry: size arithmetic and address decomposition.
+
+The paper's notation: a direct-mapped cache with ``L = 2**n`` lines has
+``n`` index bits; partitioning into ``M = 2**p`` banks splits the index
+into ``p`` MSBs (bank address) and ``n-p`` LSBs (line within bank).
+:class:`CacheGeometry` provides the ``n`` side of that arithmetic; the
+``p`` side lives in :class:`repro.hw.decoder.BankDecoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.utils.bitops import bit_slice, is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a cache array.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total data capacity (power of two).
+    line_size:
+        Line (block) size in bytes (power of two). The paper evaluates
+        16 and 32 bytes.
+    ways:
+        Associativity; 1 for the paper's direct-mapped configuration.
+
+    Examples
+    --------
+    >>> g = CacheGeometry(size_bytes=16 * 1024, line_size=16)
+    >>> g.num_lines, g.index_bits, g.offset_bits
+    (1024, 10, 4)
+    """
+
+    size_bytes: int
+    line_size: int
+    ways: int = 1
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("size_bytes", self.size_bytes),
+            ("line_size", self.line_size),
+            ("ways", self.ways),
+        ):
+            if not is_power_of_two(value):
+                raise GeometryError(f"{name} must be a power of two, got {value}")
+        if self.line_size > self.size_bytes:
+            raise GeometryError("line_size exceeds cache size")
+        if self.ways > self.num_lines:
+            raise GeometryError("associativity exceeds the number of lines")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        """Total cache lines ``L``."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (equals ``num_lines`` when direct-mapped)."""
+        return self.num_lines // self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        """Byte-offset bits within a line."""
+        return log2_exact(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Set-index bits ``n``."""
+        return log2_exact(self.num_sets)
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def split(self, address: int) -> tuple[int, int, int]:
+        """Decompose a byte address into ``(tag, index, offset)``."""
+        if address < 0:
+            raise GeometryError("addresses are non-negative")
+        offset = bit_slice(address, 0, self.offset_bits)
+        index = bit_slice(address, self.offset_bits, self.index_bits)
+        tag = address >> (self.offset_bits + self.index_bits)
+        return tag, index, offset
+
+    def index_of(self, address: int) -> int:
+        """Set index of ``address``."""
+        return self.split(address)[1]
+
+    def tag_of(self, address: int) -> int:
+        """Tag of ``address``."""
+        return self.split(address)[0]
+
+    def address_for(self, tag: int, index: int, offset: int = 0) -> int:
+        """Rebuild a byte address from its fields (inverse of :meth:`split`)."""
+        if not 0 <= index < self.num_sets:
+            raise GeometryError(f"index {index} out of range")
+        if not 0 <= offset < self.line_size:
+            raise GeometryError(f"offset {offset} out of range")
+        if tag < 0:
+            raise GeometryError("tag must be non-negative")
+        return (tag << (self.offset_bits + self.index_bits)) | (
+            index << self.offset_bits
+        ) | offset
+
+    def line_address(self, address: int) -> int:
+        """Address with the offset bits cleared (the line's base address)."""
+        return address & ~((1 << self.offset_bits) - 1)

@@ -1,0 +1,77 @@
+"""Hit/miss bookkeeping shared by all cache models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessOutcome(Enum):
+    """Result of one cache access."""
+
+    HIT = "hit"
+    MISS = "miss"
+
+
+@dataclass
+class CacheStats:
+    """Aggregated access counters.
+
+    Attributes
+    ----------
+    hits, misses:
+        Access outcomes.
+    flushes:
+        Whole-cache invalidations (each one also charges the accesses
+        needed to refill, indirectly, as post-flush misses).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over accesses (0.0 when no accesses were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over accesses (0.0 when no accesses were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def record(self, outcome: AccessOutcome) -> None:
+        """Count one access outcome."""
+        if outcome is AccessOutcome.HIT:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return combined counters of two disjoint measurement windows."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            flushes=self.flushes + other.flushes,
+        )
+
+
+@dataclass
+class BankedCacheStats(CacheStats):
+    """Counters of a banked cache, including per-physical-bank accesses."""
+
+    bank_accesses: list[int] = field(default_factory=list)
+
+    def record_bank(self, bank: int, outcome: AccessOutcome) -> None:
+        """Count one access routed to ``bank``."""
+        self.record(outcome)
+        self.bank_accesses[bank] += 1

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands reproduce the paper's artifacts from the terminal::
+
+    repro table1            # Table I  (idleness distribution)
+    repro table2            # Table II (energy + lifetime vs cache size)
+    repro table3            # Table III (vs line size)
+    repro table4            # Table IV (vs number of banks)
+    repro headline          # Sections I/V summary claims
+    repro cell              # aging curve of the calibrated 6T cell
+    repro arch              # structural summary / overhead report
+    repro policies          # probing vs scrambling uniformity convergence
+    repro profile <bench>   # characterize a synthetic workload
+
+``--quick`` runs a reduced benchmark set with shorter traces — useful
+for smoke checks; the full run takes a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.compare import (
+    compare_table1,
+    compare_table2,
+    compare_table3,
+    compare_table4,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.suite import ExperimentSettings
+from repro.experiments.tables import headline, table1, table2, table3, table4
+
+_TABLES = {
+    "table1": (table1, compare_table1),
+    "table2": (table2, compare_table2),
+    "table3": (table3, compare_table3),
+    "table4": (table4, compare_table4),
+}
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    settings = ExperimentSettings(master_seed=args.seed)
+    if args.quick:
+        settings = settings.quick()
+    return ExperimentRunner(settings=settings)
+
+
+def _cmd_table(name: str, args: argparse.Namespace) -> int:
+    build, compare = _TABLES[name]
+    runner = _make_runner(args)
+    result = build(runner)
+    print(result.render())
+    if args.compare:
+        from repro.experiments.compare import render_comparison
+
+        cells, summary = compare(result)
+        print()
+        print(render_comparison(cells, summary, f"{name} vs paper"))
+    else:
+        cells, summary = compare(result)
+        print(
+            f"\nvs paper: cells={summary['count']} "
+            f"mean|Δ|={summary['mean_abs_delta']:.2f} "
+            f"max|Δ|={summary['max_abs_delta']:.2f}"
+        )
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    print(headline(runner).render())
+    return 0
+
+
+def _cmd_cell(args: argparse.Namespace) -> int:
+    from repro.aging.cell import CharacterizationFramework
+
+    framework = CharacterizationFramework()
+    print(f"fresh read SNM        : {framework.snm_fresh * 1000:.1f} mV")
+    print(f"failure threshold     : {framework.snm_failure_threshold * 1000:.1f} mV (-20%)")
+    print(f"drowsy stress factor  : {framework.nbti.sleep_stress_factor:.3f}")
+    print(f"calibrated lifetime   : {framework.lifetime_years(0.5, 0.0):.2f} years")
+    curve = framework.aging_curve(p0=args.p0, psleep=args.psleep, points=13)
+    print(f"\nSNM(t) at p0={args.p0}, Psleep={args.psleep}:")
+    for t, snm in zip(curve.times_years, curve.snm_volts):
+        print(f"  t={t:5.1f}y  SNM={snm * 1000:6.1f} mV")
+    print(f"lifetime: {curve.lifetime_years:.2f} years")
+    return 0
+
+
+def _cmd_arch(args: argparse.Namespace) -> int:
+    from repro.cache.geometry import CacheGeometry
+    from repro.core.architecture import summarize
+    from repro.core.config import ArchitectureConfig
+
+    config = ArchitectureConfig(
+        geometry=CacheGeometry(args.size * 1024, args.line_size),
+        num_banks=args.banks,
+        policy="probing",
+        update_period_cycles=1,
+    )
+    summary = summarize(config)
+    print(f"{args.size}kB cache, {args.line_size}B lines, M={args.banks}:")
+    print(f"  index bits (n)        : {summary.index_bits}")
+    print(f"  bank bits (p)         : {summary.bank_bits}")
+    print(f"  lines per bank        : {summary.lines_per_bank}")
+    print(f"  tag bits per line     : {summary.tag_bits_per_line}")
+    print(f"  breakeven time        : {summary.breakeven_cycles} cycles")
+    print(f"  idle counter width    : {summary.counter_width_bits} bits (paper: 5-6)")
+    print(f"  wiring energy overhead: {summary.wiring_energy_overhead:.1%}")
+
+    from repro.hw.overhead import estimate_overhead
+
+    overhead = estimate_overhead(config)
+    print("added hardware (gate-equivalents):")
+    print(f"  1-hot encoder         : {overhead.encoder_ge:.0f} GE")
+    print(f"  remap f()             : {overhead.remap_ge:.0f} GE")
+    print(f"  Block Control counters: {overhead.control_ge:.0f} GE")
+    print(f"  supply selector       : {overhead.selector_ge:.0f} GE")
+    print(f"  total ~{overhead.total_ge:.0f} GE (~{overhead.area_um2:.0f} um2 at 45nm), "
+          f"access-path depth {overhead.critical_path_gates} gates")
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.indexing.analysis import mapping_histogram, uniformity_error
+    from repro.indexing.policies import make_policy
+
+    print(f"uniformity error vs number of updates (M = {args.banks}):")
+    print(f"{'updates':>8} {'probing':>10} {'scrambling':>11}")
+    for updates in (0, args.banks - 1, args.banks, 4 * args.banks, 16 * args.banks, 64 * args.banks):
+        errors = []
+        for name in ("probing", "scrambling"):
+            policy = make_policy(name, args.banks)
+            errors.append(uniformity_error(mapping_histogram(policy, updates)))
+        print(f"{updates:>8} {errors[0]:>10.3f} {errors[1]:>11.3f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.cache.geometry import CacheGeometry
+    from repro.trace.generator import WorkloadGenerator
+    from repro.trace.mediabench import profile_for
+    from repro.trace.stats import describe_profile, profile_trace
+
+    geometry = CacheGeometry(args.size * 1024, 16)
+    trace = WorkloadGenerator(geometry).generate(profile_for(args.benchmark))
+    print(f"{args.benchmark} on a {args.size}kB cache:")
+    print(describe_profile(profile_trace(trace, geometry)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Partitioned Cache Architectures for "
+        "Reduced NBTI-Induced Aging' (DATE 2011)",
+    )
+    parser.add_argument("--seed", type=int, default=2011, help="workload master seed")
+    parser.add_argument("--quick", action="store_true", help="reduced benchmark set")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _TABLES:
+        p = sub.add_parser(name, help=f"reproduce the paper's {name}")
+        p.add_argument("--compare", action="store_true", help="print per-cell deltas")
+
+    sub.add_parser("headline", help="Sections I/V summary claims")
+
+    p_cell = sub.add_parser("cell", help="6T cell aging curve")
+    p_cell.add_argument("--p0", type=float, default=0.5, help="probability of storing 0")
+    p_cell.add_argument("--psleep", type=float, default=0.0, help="sleep fraction")
+
+    p_arch = sub.add_parser("arch", help="architecture overhead summary")
+    p_arch.add_argument("--size", type=int, default=16, help="cache size in kB")
+    p_arch.add_argument("--line-size", type=int, default=16, help="line size in bytes")
+    p_arch.add_argument("--banks", type=int, default=4, help="number of banks M")
+
+    p_pol = sub.add_parser("policies", help="probing vs scrambling uniformity")
+    p_pol.add_argument("--banks", type=int, default=4, help="number of banks M")
+
+    p_prof = sub.add_parser("profile", help="characterize a benchmark workload")
+    p_prof.add_argument("benchmark", help="benchmark name (e.g. adpcm.dec)")
+    p_prof.add_argument("--size", type=int, default=16, help="cache size in kB")
+
+    args = parser.parse_args(argv)
+    if args.command in _TABLES:
+        return _cmd_table(args.command, args)
+    if args.command == "headline":
+        return _cmd_headline(args)
+    if args.command == "cell":
+        return _cmd_cell(args)
+    if args.command == "arch":
+        return _cmd_arch(args)
+    if args.command == "policies":
+        return _cmd_policies(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's architecture, assembled: partitioned cache + power
+management + dynamic indexing + aging, driven by traces.
+
+* :mod:`repro.core.config` — :class:`ArchitectureConfig`, the single
+  description object everything is built from;
+* :mod:`repro.core.architecture` — structural summary (decoder widths,
+  idle-counter width, per-bank geometry) backing the paper's overhead
+  claims;
+* :mod:`repro.core.simulator` — the cycle-faithful reference engine;
+* :mod:`repro.core.fastsim` — the vectorized numpy engine (identical
+  results, orders of magnitude faster);
+* :mod:`repro.core.results` — :class:`SimulationResult` with energy,
+  idleness, hit-rate and lifetime views.
+"""
+
+from repro.core.architecture import ArchitectureSummary, summarize
+from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import FastSimulator
+from repro.core.results import SimulationResult
+from repro.core.simulator import ReferenceSimulator, simulate
+
+__all__ = [
+    "ArchitectureConfig",
+    "ArchitectureSummary",
+    "summarize",
+    "ReferenceSimulator",
+    "FastSimulator",
+    "SimulationResult",
+    "simulate",
+]

@@ -1,0 +1,61 @@
+"""Structural summary of the architecture — the paper's overhead story.
+
+Section III argues the proposal is cheap: the 1-hot encoder is one gate
+deep, the idle counters are 5-6 bits, f() is a p-bit adder or XOR, and
+uniform bank sizes keep floorplanning easy up to M = 16. ``summarize``
+extracts those quantities from a config so tests and benches can check
+the claims against the built hardware models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ArchitectureConfig
+from repro.utils.bitops import bits_required, log2_exact
+
+
+@dataclass(frozen=True)
+class ArchitectureSummary:
+    """Derived structural parameters of a configured architecture.
+
+    Attributes
+    ----------
+    index_bits:
+        ``n`` — cache index width.
+    bank_bits:
+        ``p`` — width of the remapped MSB field (and of f()'s datapath).
+    lines_per_bank:
+        Rows per bank array.
+    breakeven_cycles:
+        Programmed idle-counter limit.
+    counter_width_bits:
+        Width of each Block Control counter (paper: 5-6 bits suffice).
+    tag_bits_per_line:
+        Tag array width.
+    wiring_energy_overhead:
+        Fractional energy overhead of routing to M banks.
+    """
+
+    index_bits: int
+    bank_bits: int
+    lines_per_bank: int
+    breakeven_cycles: int
+    counter_width_bits: int
+    tag_bits_per_line: int
+    wiring_energy_overhead: float
+
+
+def summarize(config: ArchitectureConfig) -> ArchitectureSummary:
+    """Compute the structural summary of ``config``."""
+    model = config.make_energy_model()
+    breakeven = config.breakeven()
+    return ArchitectureSummary(
+        index_bits=config.geometry.index_bits,
+        bank_bits=log2_exact(config.num_banks),
+        lines_per_bank=model.lines_per_bank,
+        breakeven_cycles=breakeven,
+        counter_width_bits=bits_required(breakeven),
+        tag_bits_per_line=model.tag_bits_per_line,
+        wiring_energy_overhead=model.wiring_factor - 1.0,
+    )

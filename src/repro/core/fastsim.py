@@ -1,0 +1,167 @@
+"""Vectorized simulation engine.
+
+Produces bit-identical results to :class:`repro.core.simulator.ReferenceSimulator`
+(the test suite enforces exact agreement on hits, misses, flushes,
+per-bank access counts, sleep cycles and energy) while processing whole
+re-indexing epochs with numpy:
+
+* routing: the logical→physical permutation is constant within an
+  epoch, so ``physical = mapping[logical]`` is a single ``take``;
+* idleness: the sleep rule only looks at per-bank access-cycle gaps,
+  and banks sleep straight through mapping changes, so per-bank stats
+  come from one :func:`~repro.power.idleness.stats_from_access_cycles`
+  call per bank over the whole run;
+* hits/misses: within an epoch the mapping is a bijection, so the
+  physical line of an access is identified by its logical index; sorting
+  accesses by (index, time) makes each access adjacent to its
+  predecessor on the same line, turning tag comparison into one
+  vectorized equality. Epochs start cold (the update flushed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.stats import CacheStats
+from repro.core.config import ArchitectureConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import _effective_breakeven, _finish
+from repro.aging.lut import LifetimeLUT
+from repro.power.idleness import stats_from_access_cycles
+from repro.trace.trace import Trace
+from repro.utils.bitops import log2_exact, mask
+
+
+class FastSimulator:
+    """Vectorized trace-driven simulator (same contract as the reference).
+
+    Parameters
+    ----------
+    config:
+        Architecture to simulate.
+    lut:
+        Lifetime lookup table; defaults to the shared calibrated one.
+    """
+
+    def __init__(self, config: ArchitectureConfig, lut: LifetimeLUT | None = None) -> None:
+        self.config = config
+        self.lut = lut
+
+    # ------------------------------------------------------------------
+    def _epoch_boundaries(self, trace: Trace) -> np.ndarray:
+        """Update cycles that actually fire during the trace.
+
+        The reference engine drains due updates lazily, right before the
+        first access at or after each boundary; boundaries after the
+        last access never fire. The returned array contains the firing
+        boundaries in order.
+        """
+        schedule = self.config.make_update_schedule()
+        if len(trace) == 0:
+            return np.empty(0, dtype=np.int64)
+        return schedule.boundaries_up_to(int(trace.cycles[-1]))
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate ``trace`` and return the measurement record.
+
+        Raises
+        ------
+        ConfigurationError
+            For set-associative geometries: the vectorized tag
+            comparison is direct-mapped only (LRU state is inherently
+            sequential). Use :class:`ReferenceSimulator`, or
+            :func:`repro.core.simulator.simulate`, which dispatches
+            automatically.
+        """
+        config = self.config
+        geometry = config.geometry
+        if geometry.ways != 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "FastSimulator supports direct-mapped caches only; use "
+                "ReferenceSimulator for set-associative geometries"
+            )
+        num_banks = config.num_banks
+        p_bits = log2_exact(num_banks)
+        line_bits = geometry.index_bits - p_bits
+
+        cycles = trace.cycles
+        index = (trace.addresses >> geometry.offset_bits) & mask(geometry.index_bits)
+        tag = trace.addresses >> (geometry.offset_bits + geometry.index_bits)
+        logical_bank = index >> line_bits
+
+        boundaries = self._epoch_boundaries(trace)
+        starts = np.concatenate(
+            ([0], np.searchsorted(cycles, boundaries, side="left"), [len(trace)])
+        )
+
+        policy = config.make_policy()
+        physical = np.empty(len(trace), dtype=np.int64)
+        hits = 0
+        misses = 0
+        flush_invalidations = 0
+        touched_before_flush = 0
+
+        for epoch in range(len(starts) - 1):
+            if epoch > 0:
+                policy.update()
+                flush_invalidations += touched_before_flush
+            lo, hi = int(starts[epoch]), int(starts[epoch + 1])
+            if lo == hi:
+                touched_before_flush = 0
+                continue
+            mapping = policy.mapping()
+            physical[lo:hi] = mapping[logical_bank[lo:hi]]
+            epoch_hits, epoch_lines = self._epoch_hits(index[lo:hi], tag[lo:hi])
+            hits += epoch_hits
+            misses += (hi - lo) - epoch_hits
+            touched_before_flush = epoch_lines
+
+        # Per-bank idleness over the whole run (sleep is oblivious to
+        # mapping changes; only the physical access stream matters).
+        breakeven = _effective_breakeven(config, trace.horizon)
+        bank_stats = []
+        order = np.argsort(physical[: len(trace)], kind="stable")
+        sorted_banks = physical[order]
+        sorted_cycles = cycles[order]
+        splits = np.searchsorted(sorted_banks, np.arange(num_banks + 1))
+        for bank in range(num_banks):
+            bank_cycles = sorted_cycles[splits[bank] : splits[bank + 1]]
+            bank_stats.append(
+                stats_from_access_cycles(bank_cycles, breakeven, 0, trace.horizon)
+            )
+
+        cache_stats = CacheStats(hits=hits, misses=misses, flushes=len(boundaries))
+        return _finish(
+            config,
+            trace,
+            bank_stats,
+            cache_stats,
+            policy.updates_applied,
+            flush_invalidations,
+            self.lut,
+        )
+
+    @staticmethod
+    def _epoch_hits(index: np.ndarray, tag: np.ndarray) -> tuple[int, int]:
+        """Hits and distinct lines touched within one (cold-started) epoch.
+
+        Sorting by (index, arrival) places every access next to the
+        previous access of the same cache line; a hit is an access whose
+        predecessor exists, is the same line, and carries the same tag
+        (direct-mapped: any other tag evicted the line in between — but
+        a *different* tag on the predecessor already means the line was
+        re-allocated, so adjacent comparison is exact).
+        """
+        if index.size == 0:
+            return 0, 0
+        order = np.lexsort((np.arange(index.size), index))
+        idx_sorted = index[order]
+        tag_sorted = tag[order]
+        same_line = idx_sorted[1:] == idx_sorted[:-1]
+        same_tag = tag_sorted[1:] == tag_sorted[:-1]
+        hits = int(np.count_nonzero(same_line & same_tag))
+        distinct_lines = int(np.count_nonzero(~same_line)) + 1
+        return hits, distinct_lines
+

@@ -1,0 +1,109 @@
+"""Simulation results.
+
+Both engines produce a :class:`SimulationResult`; the experiment harness
+and examples read everything — energy savings, idleness distribution,
+lifetime, hit rates — from this one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aging.lifetime import CacheLifetimeReport
+from repro.cache.stats import CacheStats
+from repro.core.config import ArchitectureConfig
+from repro.power.energy import BankEnergyBreakdown
+from repro.power.idleness import BankIdleStats
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured in one trace-driven run.
+
+    Attributes
+    ----------
+    config:
+        The simulated architecture.
+    trace_name:
+        Label of the driving trace.
+    total_cycles:
+        Simulated horizon.
+    bank_stats:
+        Per-physical-bank idleness/activity counters.
+    cache_stats:
+        Hit/miss/flush counters (whole cache).
+    updates_applied:
+        Re-indexing updates that fired during the run.
+    flush_invalidations:
+        Valid lines dropped by update-induced flushes.
+    bank_energy:
+        Per-bank energy breakdowns (pJ).
+    energy_pj:
+        Total energy of the simulated cache (pJ).
+    baseline_energy_pj:
+        Energy of the unmanaged monolithic reference on the same trace.
+    lifetime:
+        Bank/cache lifetime report.
+    """
+
+    config: ArchitectureConfig
+    trace_name: str
+    total_cycles: int
+    bank_stats: tuple[BankIdleStats, ...]
+    cache_stats: CacheStats
+    updates_applied: int
+    flush_invalidations: int
+    bank_energy: tuple[BankEnergyBreakdown, ...]
+    energy_pj: float
+    baseline_energy_pj: float
+    lifetime: CacheLifetimeReport
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def energy_savings(self) -> float:
+        """Fractional saving vs the unmanaged monolithic cache (Esav)."""
+        return 1.0 - self.energy_pj / self.baseline_energy_pj
+
+    @property
+    def bank_idleness(self) -> tuple[float, ...]:
+        """Useful idleness of each physical bank (Table I's I_j)."""
+        return tuple(s.useful_idleness for s in self.bank_stats)
+
+    @property
+    def average_idleness(self) -> float:
+        """Mean bank idleness — the power-relevant aggregate."""
+        values = self.bank_idleness
+        return sum(values) / len(values)
+
+    @property
+    def worst_idleness(self) -> float:
+        """Minimum bank idleness — the aging-relevant aggregate."""
+        return min(self.bank_idleness)
+
+    @property
+    def lifetime_years(self) -> float:
+        """Cache lifetime (worst bank) in years."""
+        return self.lifetime.cache_lifetime_years
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over the run."""
+        return self.cache_stats.hit_rate
+
+    @property
+    def total_accesses(self) -> int:
+        """Accesses driven into the cache."""
+        return self.cache_stats.accesses
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        idle = ", ".join(f"{v:.1%}" for v in self.bank_idleness)
+        return (
+            f"{self.trace_name or 'trace'} on {self.config.num_banks}-bank "
+            f"{self.config.geometry.size_bytes // 1024}kB cache "
+            f"[{self.config.policy}]: Esav={self.energy_savings:.1%}, "
+            f"lifetime={self.lifetime_years:.2f}y (bank idleness: {idle}), "
+            f"hit rate={self.hit_rate:.1%}, updates={self.updates_applied}"
+        )

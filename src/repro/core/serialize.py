@@ -1,0 +1,144 @@
+"""Serialization of simulation results.
+
+Campaign runs (hundreds of simulations) want their results on disk in a
+stable, diff-able form. This module flattens a
+:class:`~repro.core.results.SimulationResult` into plain JSON types and
+back into a :class:`ResultRecord` (a read-back view carrying the same
+derived metrics; the full config object is summarized, not rebuilt —
+records are for analysis, not resimulation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.core.results import SimulationResult
+from repro.errors import ReproError
+
+
+class SerializationError(ReproError):
+    """A result file is malformed or from an incompatible version."""
+
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Flatten a result into JSON-safe types."""
+    config = result.config
+    return {
+        "version": FORMAT_VERSION,
+        "config": {
+            "size_bytes": config.geometry.size_bytes,
+            "line_size": config.geometry.line_size,
+            "ways": config.geometry.ways,
+            "num_banks": config.num_banks,
+            "policy": config.policy,
+            "power_managed": config.power_managed,
+            "update_period_cycles": config.update_period_cycles,
+            "breakeven": config.breakeven(),
+        },
+        "trace_name": result.trace_name,
+        "total_cycles": result.total_cycles,
+        "hits": result.cache_stats.hits,
+        "misses": result.cache_stats.misses,
+        "flushes": result.cache_stats.flushes,
+        "updates_applied": result.updates_applied,
+        "flush_invalidations": result.flush_invalidations,
+        "bank_idleness": list(result.bank_idleness),
+        "bank_accesses": [s.accesses for s in result.bank_stats],
+        "bank_transitions": [s.transitions for s in result.bank_stats],
+        "energy_pj": result.energy_pj,
+        "baseline_energy_pj": result.baseline_energy_pj,
+        "energy_savings": result.energy_savings,
+        "lifetime_years": result.lifetime_years,
+        "bank_lifetimes_years": list(result.lifetime.bank_lifetimes_years),
+        "limiting_bank": result.lifetime.limiting_bank,
+        "hit_rate": result.hit_rate,
+    }
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """Read-back view of a serialized result."""
+
+    config: dict
+    trace_name: str
+    total_cycles: int
+    hits: int
+    misses: int
+    flushes: int
+    updates_applied: int
+    flush_invalidations: int
+    bank_idleness: tuple[float, ...]
+    bank_accesses: tuple[int, ...]
+    bank_transitions: tuple[int, ...]
+    energy_pj: float
+    baseline_energy_pj: float
+    energy_savings: float
+    lifetime_years: float
+    bank_lifetimes_years: tuple[float, ...]
+    limiting_bank: int
+    hit_rate: float
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResultRecord":
+        """Validate and build a record from parsed JSON."""
+        if payload.get("version") != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported result version {payload.get('version')!r}"
+            )
+        try:
+            return cls(
+                config=dict(payload["config"]),
+                trace_name=payload["trace_name"],
+                total_cycles=payload["total_cycles"],
+                hits=payload["hits"],
+                misses=payload["misses"],
+                flushes=payload["flushes"],
+                updates_applied=payload["updates_applied"],
+                flush_invalidations=payload["flush_invalidations"],
+                bank_idleness=tuple(payload["bank_idleness"]),
+                bank_accesses=tuple(payload["bank_accesses"]),
+                bank_transitions=tuple(payload["bank_transitions"]),
+                energy_pj=payload["energy_pj"],
+                baseline_energy_pj=payload["baseline_energy_pj"],
+                energy_savings=payload["energy_savings"],
+                lifetime_years=payload["lifetime_years"],
+                bank_lifetimes_years=tuple(payload["bank_lifetimes_years"]),
+                limiting_bank=payload["limiting_bank"],
+                hit_rate=payload["hit_rate"],
+            )
+        except KeyError as exc:
+            raise SerializationError(f"missing field {exc}") from exc
+
+
+def save_results(results, path: str | os.PathLike) -> None:
+    """Write a list of results (or records' dicts) as a JSON campaign file."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "results": [
+            result_to_dict(r) if isinstance(r, SimulationResult) else r
+            for r in results
+        ],
+    }
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+
+
+def load_results(path: str | os.PathLike) -> list[ResultRecord]:
+    """Read a campaign file back into records."""
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"{path}: not valid JSON ({exc})") from exc
+    if payload.get("version") != FORMAT_VERSION:
+        raise SerializationError(f"unsupported campaign version {payload.get('version')!r}")
+    entries = payload.get("results")
+    if not isinstance(entries, list):
+        raise SerializationError("campaign file has no results list")
+    return [ResultRecord.from_dict(entry) for entry in entries]

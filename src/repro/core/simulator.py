@@ -1,0 +1,138 @@
+"""Reference (event-by-event) simulation engine.
+
+This engine walks the trace one access at a time through the *actual*
+behavioral hardware models: decoder D routes each index, the banked
+cache arrays record hits and misses, the idleness accountant applies the
+Block Control sleep rule, and the update schedule pulses f() and
+flushes. It is deliberately simple — the fast engine in
+:mod:`repro.core.fastsim` must agree with it exactly, and the test suite
+holds the two together.
+"""
+
+from __future__ import annotations
+
+from repro.aging.lifetime import cache_lifetime_years
+from repro.aging.lut import LifetimeLUT
+from repro.cache.banked import BankedCache
+from repro.core.config import ArchitectureConfig
+from repro.core.results import SimulationResult
+from repro.power.idleness import BankIdleStats, IdlenessAccountant
+from repro.trace.trace import Trace
+
+
+def _effective_breakeven(config: ArchitectureConfig, horizon: int) -> int:
+    """Breakeven used for accounting.
+
+    An unmanaged cache is modelled as one whose breakeven exceeds any
+    possible gap — the accounting then naturally reports zero sleep.
+    """
+    if not config.power_managed:
+        return horizon + 1
+    return config.breakeven()
+
+
+def _finish(
+    config: ArchitectureConfig,
+    trace: Trace,
+    bank_stats: list[BankIdleStats],
+    cache_stats,
+    updates_applied: int,
+    flush_invalidations: int,
+    lut: LifetimeLUT | None,
+) -> SimulationResult:
+    """Common result assembly for both engines."""
+    model = config.make_energy_model()
+    breakdowns = tuple(
+        model.bank_energy(
+            accesses=s.accesses,
+            active_cycles=s.active_cycles,
+            sleep_cycles=s.sleep_cycles,
+            transitions=s.transitions,
+        )
+        for s in bank_stats
+    )
+    energy = sum(b.total for b in breakdowns)
+    baseline = config.make_baseline_energy_model().unmanaged_energy(
+        cache_stats.accesses, trace.horizon
+    )
+    sleep_fractions = [s.useful_idleness for s in bank_stats]
+    lifetime = cache_lifetime_years(sleep_fractions, lut=lut)
+    return SimulationResult(
+        config=config,
+        trace_name=trace.name,
+        total_cycles=trace.horizon,
+        bank_stats=tuple(bank_stats),
+        cache_stats=cache_stats,
+        updates_applied=updates_applied,
+        flush_invalidations=flush_invalidations,
+        bank_energy=breakdowns,
+        energy_pj=energy,
+        baseline_energy_pj=baseline,
+        lifetime=lifetime,
+    )
+
+
+class ReferenceSimulator:
+    """Event-by-event trace-driven simulator.
+
+    Parameters
+    ----------
+    config:
+        Architecture to simulate.
+    lut:
+        Lifetime lookup table; defaults to the shared calibrated one.
+    """
+
+    def __init__(self, config: ArchitectureConfig, lut: LifetimeLUT | None = None) -> None:
+        self.config = config
+        self.lut = lut
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate ``trace`` and return the measurement record."""
+        config = self.config
+        policy = config.make_policy()
+        cache = BankedCache(config.geometry, config.num_banks, policy.remapper)
+        schedule = config.make_update_schedule()
+        accountant = IdlenessAccountant(
+            config.num_banks, _effective_breakeven(config, trace.horizon)
+        )
+        flush_invalidations = 0
+
+        for cycle, address in trace:
+            while schedule.due(cycle):
+                policy.update()
+                flush_invalidations += cache.flush()
+            _, decoded = cache.access(address)
+            accountant.on_access(decoded.physical_bank, cycle)
+
+        bank_stats = accountant.finalize(trace.horizon)
+        return _finish(
+            config,
+            trace,
+            bank_stats,
+            cache.stats,
+            policy.updates_applied,
+            flush_invalidations,
+            self.lut,
+        )
+
+
+def simulate(
+    config: ArchitectureConfig,
+    trace: Trace,
+    lut: LifetimeLUT | None = None,
+    engine: str = "fast",
+) -> SimulationResult:
+    """Convenience front-end: run ``trace`` on ``config``.
+
+    ``engine`` selects ``"fast"`` (default) or ``"reference"``.
+    Set-associative geometries always use the reference engine (the
+    vectorized tag comparison is direct-mapped only).
+    """
+    if engine == "reference" or (engine == "fast" and config.geometry.ways != 1):
+        return ReferenceSimulator(config, lut).run(trace)
+    if engine == "fast":
+        from repro.core.fastsim import FastSimulator
+
+        return FastSimulator(config, lut).run(trace)
+    raise ValueError(f"unknown engine {engine!r}")

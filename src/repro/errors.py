@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range.
+
+    Raised, for example, when a cache size is not a power of two, when the
+    number of banks exceeds the number of cache lines, or when a technology
+    parameter is negative.
+    """
+
+
+class GeometryError(ConfigurationError):
+    """A cache geometry parameter is invalid (sizes, line size, ways)."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (non-monotonic cycles, bad record, bad file)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class ModelError(ReproError):
+    """An analytical model was evaluated outside its domain of validity."""
+
+
+class CalibrationError(ModelError):
+    """A calibration routine failed to converge to its target."""

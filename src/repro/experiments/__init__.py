@@ -1,0 +1,34 @@
+"""Experiment harness: reproduce every table of the paper.
+
+* :mod:`repro.experiments.paper_data` — the published numbers
+  (Tables I-IV) for side-by-side comparison;
+* :mod:`repro.experiments.suite` — shared settings and the trace cache;
+* :mod:`repro.experiments.runner` — one simulation per (benchmark,
+  configuration) with memoization;
+* :mod:`repro.experiments.tables` — the per-table reproduction
+  functions returning structured rows plus formatted text;
+* :mod:`repro.experiments.compare` — paper-vs-measured deltas for
+  EXPERIMENTS.md and the regression benches.
+"""
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.suite import ExperimentSettings
+from repro.experiments.tables import (
+    TableResult,
+    headline,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentRunner",
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "headline",
+]

@@ -1,0 +1,131 @@
+"""Paper-vs-measured comparison.
+
+Turns the reproduced tables into delta reports: for every cell the
+paper publishes, report measured value, published value, and the
+difference. The EXPERIMENTS.md generator and the regression benches are
+built on these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_data
+from repro.experiments.tables import TableResult
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """One compared quantity."""
+
+    row: str
+    column: str
+    measured: float
+    published: float
+
+    @property
+    def delta(self) -> float:
+        """measured - published."""
+        return self.measured - self.published
+
+    @property
+    def relative(self) -> float:
+        """Relative deviation (vs published; 0 when published is 0)."""
+        if self.published == 0:
+            return 0.0
+        return self.delta / self.published
+
+
+def _summary(cells: list[CellComparison]) -> dict[str, float]:
+    """Aggregate absolute/relative errors."""
+    if not cells:
+        return {"count": 0, "mean_abs_delta": 0.0, "max_abs_delta": 0.0, "mean_abs_rel": 0.0}
+    abs_deltas = [abs(c.delta) for c in cells]
+    abs_rels = [abs(c.relative) for c in cells]
+    return {
+        "count": len(cells),
+        "mean_abs_delta": sum(abs_deltas) / len(cells),
+        "max_abs_delta": max(abs_deltas),
+        "mean_abs_rel": sum(abs_rels) / len(cells),
+    }
+
+
+def compare_table1(result: TableResult) -> tuple[list[CellComparison], dict[str, float]]:
+    """Compare a reproduced Table I against the published one."""
+    cells = []
+    for row in result.rows:
+        bench = row[0]
+        if bench not in paper_data.TABLE1:
+            continue
+        published = paper_data.TABLE1[bench]
+        for bank in range(4):
+            cells.append(
+                CellComparison(bench, f"I{bank}", float(row[1 + bank]), published[bank])
+            )
+    return cells, _summary(cells)
+
+
+def compare_table2(result: TableResult) -> tuple[list[CellComparison], dict[str, float]]:
+    """Compare a reproduced Table II against the published one."""
+    sizes = (8192, 16384, 32768)
+    cells = []
+    for row in result.rows:
+        bench = row[0]
+        if bench not in paper_data.TABLE2:
+            continue
+        for i, size in enumerate(sizes):
+            esav, lt0, lt = paper_data.TABLE2[bench][size]
+            cells.append(CellComparison(bench, f"Esav{size}", float(row[1 + 3 * i]), esav))
+            cells.append(CellComparison(bench, f"LT0_{size}", float(row[2 + 3 * i]), lt0))
+            cells.append(CellComparison(bench, f"LT_{size}", float(row[3 + 3 * i]), lt))
+    return cells, _summary(cells)
+
+
+def compare_table3(result: TableResult) -> tuple[list[CellComparison], dict[str, float]]:
+    """Compare a reproduced Table III against the published one."""
+    cells = []
+    for row in result.rows:
+        bench = row[0]
+        if bench not in paper_data.TABLE3:
+            continue
+        for i, line_size in enumerate((16, 32)):
+            esav, lt = paper_data.TABLE3[bench][line_size]
+            cells.append(CellComparison(bench, f"Esav_LS{line_size}", float(row[1 + 2 * i]), esav))
+            cells.append(CellComparison(bench, f"LT_LS{line_size}", float(row[2 + 2 * i]), lt))
+    return cells, _summary(cells)
+
+
+def compare_table4(result: TableResult) -> tuple[list[CellComparison], dict[str, float]]:
+    """Compare a reproduced Table IV against the published one."""
+    cells = []
+    for row in result.rows:
+        size = int(str(row[0]).rstrip("kB")) * 1024
+        for i, banks in enumerate((2, 4, 8)):
+            idleness, lifetime = paper_data.TABLE4[(size, banks)]
+            cells.append(
+                CellComparison(str(row[0]), f"Idle_M{banks}", float(row[1 + 2 * i]), idleness)
+            )
+            cells.append(
+                CellComparison(str(row[0]), f"LT_M{banks}", float(row[2 + 2 * i]), lifetime)
+            )
+    return cells, _summary(cells)
+
+
+def render_comparison(
+    cells: list[CellComparison], summary: dict[str, float], title: str
+) -> str:
+    """Human-readable comparison report."""
+    from repro.utils.tables import format_table
+
+    rows = [
+        [c.row, c.column, c.measured, c.published, c.delta]
+        for c in cells
+    ]
+    table = format_table(
+        ["row", "column", "measured", "published", "delta"], rows, title=title
+    )
+    footer = (
+        f"\ncells={summary['count']}  mean|Δ|={summary['mean_abs_delta']:.2f}  "
+        f"max|Δ|={summary['max_abs_delta']:.2f}  mean|rel|={summary['mean_abs_rel']:.1%}"
+    )
+    return table + footer

@@ -1,0 +1,104 @@
+"""Simulation driver with memoization.
+
+Tables II-IV share many (benchmark, configuration) runs — e.g. the
+static M=4 runs appear in Tables I, II and III — so the runner caches
+:class:`~repro.core.results.SimulationResult` objects keyed by the full
+configuration. Everything funnels through :meth:`ExperimentRunner.run`,
+which uses the fast engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aging.lut import LifetimeLUT
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import FastSimulator
+from repro.core.results import SimulationResult
+from repro.experiments.suite import ExperimentSettings, TraceCache
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs (benchmark, configuration) pairs with caching.
+
+    Parameters
+    ----------
+    settings:
+        Shared experiment settings.
+    lut:
+        Lifetime LUT; defaults to the calibrated shared instance.
+    """
+
+    settings: ExperimentSettings = field(default_factory=ExperimentSettings)
+    lut: LifetimeLUT | None = None
+    _traces: TraceCache = field(default=None)  # type: ignore[assignment]
+    _results: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self._traces is None:
+            self._traces = TraceCache(self.settings)
+        if self.lut is None:
+            self.lut = LifetimeLUT.default()
+
+    # ------------------------------------------------------------------
+    def config(
+        self,
+        size_bytes: int,
+        line_bytes: int,
+        num_banks: int,
+        policy: str,
+        power_managed: bool = True,
+    ) -> ArchitectureConfig:
+        """Build the architecture config for one experiment point."""
+        return ArchitectureConfig(
+            geometry=CacheGeometry(size_bytes, line_bytes),
+            num_banks=num_banks,
+            policy=policy,
+            power_managed=power_managed,
+            update_period_cycles=(
+                self.settings.update_period if policy != "static" else None
+            ),
+        )
+
+    def run(
+        self,
+        benchmark: str,
+        size_bytes: int,
+        line_bytes: int,
+        num_banks: int,
+        policy: str,
+        power_managed: bool = True,
+    ) -> SimulationResult:
+        """Run (memoized) one benchmark on one configuration."""
+        key = (benchmark, size_bytes, line_bytes, num_banks, policy, power_managed)
+        if key not in self._results:
+            config = self.config(
+                size_bytes, line_bytes, num_banks, policy, power_managed
+            )
+            trace = self._traces.get(benchmark, config.geometry)
+            self._results[key] = FastSimulator(config, self.lut).run(trace)
+        return self._results[key]
+
+    # ------------------------------------------------------------------
+    # The three standard views used by the tables
+    # ------------------------------------------------------------------
+    def static_run(
+        self, benchmark: str, size_bytes: int, line_bytes: int, num_banks: int
+    ) -> SimulationResult:
+        """Conventional power-managed partition (LT0 and Esav columns)."""
+        return self.run(benchmark, size_bytes, line_bytes, num_banks, "static")
+
+    def reindexed_run(
+        self, benchmark: str, size_bytes: int, line_bytes: int, num_banks: int
+    ) -> SimulationResult:
+        """Dynamic-indexing partition (the LT column)."""
+        return self.run(
+            benchmark, size_bytes, line_bytes, num_banks, self.settings.policy
+        )
+
+    def clear(self) -> None:
+        """Drop cached traces and results."""
+        self._traces.clear()
+        self._results.clear()

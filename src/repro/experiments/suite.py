@@ -1,0 +1,110 @@
+"""Shared experiment settings and the trace cache.
+
+All tables run the same 18 synthetic benchmarks; traces depend only on
+(benchmark, geometry, seed, schedule length), so they are generated once
+and shared across tables and benches through :class:`TraceCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.trace.generator import WorkloadGenerator
+from repro.trace.mediabench import BENCHMARK_NAMES, profile_for
+from repro.trace.trace import Trace
+
+#: The paper's cache-size sweep (Table II / IV).
+CACHE_SIZES_BYTES: tuple[int, ...] = (8 * 1024, 16 * 1024, 32 * 1024)
+#: The paper's line-size sweep (Table III).
+LINE_SIZES_BYTES: tuple[int, ...] = (16, 32)
+#: The paper's bank-count sweep (Table IV).
+BANK_COUNTS: tuple[int, ...] = (2, 4, 8)
+#: The paper's reference configuration (Tables I-III).
+DEFAULT_SIZE_BYTES: int = 16 * 1024
+DEFAULT_LINE_BYTES: int = 16
+DEFAULT_BANKS: int = 4
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment.
+
+    Attributes
+    ----------
+    master_seed:
+        Seed of the workload generator's stream family.
+    num_windows, window_cycles:
+        Schedule dimensions (trace horizon = product).
+    num_updates:
+        Re-indexing updates over the trace (>= the largest M so probing
+        reaches its provably uniform regime).
+    policy:
+        Dynamic-indexing policy used for the LT columns.
+    benchmarks:
+        Benchmark subset (defaults to all 18); trimming it makes smoke
+        runs fast.
+    """
+
+    master_seed: int = 2011
+    num_windows: int = 1500
+    window_cycles: int = 1024
+    num_updates: int = 16
+    policy: str = "probing"
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES
+
+    def __post_init__(self) -> None:
+        if self.num_updates < max(BANK_COUNTS):
+            raise ConfigurationError(
+                f"num_updates must be >= {max(BANK_COUNTS)} so probing "
+                "reaches uniform coverage"
+            )
+        for name in self.benchmarks:
+            profile_for(name)  # raises on unknown names
+
+    @property
+    def horizon(self) -> int:
+        """Trace length in cycles."""
+        return self.num_windows * self.window_cycles
+
+    @property
+    def update_period(self) -> int:
+        """Cycles between re-indexing updates."""
+        return self.horizon // self.num_updates
+
+    def quick(self) -> "ExperimentSettings":
+        """A fast variant for smoke tests (6 benchmarks, short traces)."""
+        return ExperimentSettings(
+            master_seed=self.master_seed,
+            num_windows=400,
+            window_cycles=self.window_cycles,
+            num_updates=self.num_updates,
+            policy=self.policy,
+            benchmarks=self.benchmarks[::3],
+        )
+
+
+@dataclass
+class TraceCache:
+    """Memoized trace generation keyed by (benchmark, geometry)."""
+
+    settings: ExperimentSettings
+    _traces: dict[tuple[str, CacheGeometry], Trace] = field(default_factory=dict)
+
+    def get(self, benchmark: str, geometry: CacheGeometry) -> Trace:
+        """Return (generating on first use) the benchmark's trace."""
+        key = (benchmark, geometry)
+        if key not in self._traces:
+            generator = WorkloadGenerator(
+                geometry,
+                num_windows=self.settings.num_windows,
+                window_cycles=self.settings.window_cycles,
+                master_seed=self.settings.master_seed,
+            )
+            self._traces[key] = generator.generate(profile_for(benchmark))
+        return self._traces[key]
+
+    def clear(self) -> None:
+        """Drop all cached traces."""
+        self._traces.clear()

@@ -1,0 +1,41 @@
+"""Behavioral models of the paper's hardware blocks.
+
+The paper's architecture (Figures 1-3) is built from a handful of small
+digital blocks placed in front of standard memory-compiler banks:
+
+* a **1-hot encoder** turning the ``p`` MSBs of the cache index into bank
+  activation signals (:mod:`repro.hw.onehot`),
+* **saturating idle counters** inside the Block Control unit
+  (:mod:`repro.hw.counter`),
+* an **LFSR** pseudo-random generator feeding the Scrambling remapper
+  (:mod:`repro.hw.lfsr`),
+* the **remapping datapaths** of Figure 3 — adder-based Probing and
+  XOR-based Scrambling (:mod:`repro.hw.remap`),
+* the composite **decoder D** of Figure 1(b)/2 that splits the index,
+  applies the remap function f() and drives the bank selects
+  (:mod:`repro.hw.decoder`).
+
+These are cycle-free behavioural models: they compute exactly what the
+RTL would, and the simulator uses them directly, so the architectural
+experiments exercise the same bit-level transformations the hardware
+would perform.
+"""
+
+from repro.hw.counter import SaturatingCounter
+from repro.hw.decoder import BankDecoder, DecodedAccess
+from repro.hw.lfsr import GaloisLFSR, MAXIMAL_TAPS
+from repro.hw.onehot import one_hot_decode, one_hot_encode
+from repro.hw.remap import ProbingRemapper, ScramblingRemapper, StaticRemapper
+
+__all__ = [
+    "SaturatingCounter",
+    "BankDecoder",
+    "DecodedAccess",
+    "GaloisLFSR",
+    "MAXIMAL_TAPS",
+    "one_hot_encode",
+    "one_hot_decode",
+    "ProbingRemapper",
+    "ScramblingRemapper",
+    "StaticRemapper",
+]

@@ -1,0 +1,71 @@
+"""Saturating idle counters of the Block Control unit.
+
+Section III-A1: *"Block Control contains M counters which are incremented
+upon a non-access (a 0 on the 1-hot encoded signal), and reset upon an
+access (a 1 on the 1-hot signal). When a counter saturates, its terminal
+count signal is used as the output selection signal."*
+
+The counter width is sized from the breakeven time; the paper observes
+that 5- or 6-bit counters suffice for breakeven times of a few tens of
+cycles. :func:`repro.power.breakeven.breakeven_cycles` computes the
+breakeven value this counter is programmed with.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bits_required
+
+
+class SaturatingCounter:
+    """An up-counter that saturates at ``limit`` and exposes terminal count.
+
+    Parameters
+    ----------
+    limit:
+        Saturation value (the breakeven time, in cycles). Must be >= 1.
+
+    Examples
+    --------
+    >>> c = SaturatingCounter(3)
+    >>> [c.tick() for _ in range(5)]   # terminal count after 3 idle ticks
+    [False, False, True, True, True]
+    >>> c.reset(); c.terminal_count
+    False
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"counter limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self.value = 0
+
+    @property
+    def width(self) -> int:
+        """Hardware width in bits needed to hold ``limit``."""
+        return bits_required(self.limit)
+
+    @property
+    def terminal_count(self) -> bool:
+        """True when the counter has saturated (bank may be put to sleep)."""
+        return self.value >= self.limit
+
+    def tick(self) -> bool:
+        """Advance one non-access cycle; return the terminal-count signal."""
+        if self.value < self.limit:
+            self.value += 1
+        return self.terminal_count
+
+    def advance(self, cycles: int) -> bool:
+        """Advance ``cycles`` non-access cycles at once (simulation shortcut)."""
+        if cycles < 0:
+            raise ConfigurationError("cannot advance a counter by negative cycles")
+        self.value = min(self.limit, self.value + cycles)
+        return self.terminal_count
+
+    def reset(self) -> None:
+        """Reset on an access (a 1 on the bank's one-hot signal)."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SaturatingCounter(value={self.value}, limit={self.limit})"

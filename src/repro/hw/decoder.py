@@ -1,0 +1,132 @@
+"""The composite decoder block *D* of Figures 1(b) and 2.
+
+``BankDecoder`` performs, for every cache access, exactly what the
+paper's decoder does:
+
+1. split the ``n``-bit cache index into ``p`` MSBs (bank address) and
+   ``n - p`` LSBs (line-within-bank address);
+2. pass the bank address through the remapping function f() (static,
+   probing or scrambling — see :mod:`repro.hw.remap`);
+3. produce the one-hot ``select`` word activating the target bank.
+
+The per-access output is a :class:`DecodedAccess` record consumed by the
+banked cache model and the Block Control logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.onehot import one_hot_encode
+from repro.hw.remap import StaticRemapper
+from repro.utils.bitops import bit_slice, is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class DecodedAccess:
+    """Result of routing one cache index through decoder D.
+
+    Attributes
+    ----------
+    logical_bank:
+        Bank address before remapping (the p MSBs of the index).
+    physical_bank:
+        Bank actually activated, after f().
+    line_in_bank:
+        The ``n - p`` LSBs of the index (row within the bank).
+    select_word:
+        One-hot activation word driven to the Block Selector.
+    """
+
+    logical_bank: int
+    physical_bank: int
+    line_in_bank: int
+    select_word: int
+
+
+class BankDecoder:
+    """Address decoder for an M-bank uniformly partitioned cache.
+
+    Parameters
+    ----------
+    num_lines:
+        Total cache lines ``L = 2**n``.
+    num_banks:
+        Number of uniform banks ``M = 2**p`` (``p <= n``).
+    remapper:
+        The f() datapath; defaults to the identity (conventional
+        partitioned cache).
+
+    Examples
+    --------
+    The paper's Example 1 (N=256 lines, M=4 banks, address 70) under
+    probing — note the example's prose uses 63/7 for the in-bank line; the
+    hardware uses the 6 LSBs (70 mod 64 = 6) and the 2 MSBs (70 // 64 = 1):
+
+    >>> from repro.hw.remap import ProbingRemapper
+    >>> dec = BankDecoder(256, 4, ProbingRemapper(2))
+    >>> dec.decode(70).physical_bank
+    1
+    >>> dec.remapper.update()
+    >>> dec.decode(70).physical_bank
+    2
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        num_banks: int,
+        remapper: StaticRemapper | None = None,
+    ) -> None:
+        if not is_power_of_two(num_lines):
+            raise ConfigurationError(f"num_lines must be a power of two, got {num_lines}")
+        if not is_power_of_two(num_banks):
+            raise ConfigurationError(f"num_banks must be a power of two, got {num_banks}")
+        if num_banks > num_lines:
+            raise ConfigurationError(
+                f"cannot split {num_lines} lines into {num_banks} banks"
+            )
+        self.num_lines = num_lines
+        self.num_banks = num_banks
+        self.index_bits = log2_exact(num_lines)          # n
+        self.bank_bits = log2_exact(num_banks)           # p
+        self.line_bits = self.index_bits - self.bank_bits  # n - p
+        self.remapper = remapper if remapper is not None else StaticRemapper(self.bank_bits)
+        if self.remapper.p_bits != self.bank_bits:
+            raise ConfigurationError(
+                f"remapper is {self.remapper.p_bits} bits wide but the bank "
+                f"address needs {self.bank_bits}"
+            )
+
+    @property
+    def lines_per_bank(self) -> int:
+        """Lines in each uniform bank (``2**(n-p)``)."""
+        return 1 << self.line_bits
+
+    def decode(self, index: int) -> DecodedAccess:
+        """Route cache index ``index`` to a physical bank.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``index`` is outside ``[0, num_lines)``.
+        """
+        if not 0 <= index < self.num_lines:
+            raise ConfigurationError(
+                f"index {index} out of range for {self.num_lines} lines"
+            )
+        logical_bank = bit_slice(index, self.line_bits, self.bank_bits)
+        line_in_bank = bit_slice(index, 0, self.line_bits)
+        physical_bank = self.remapper.map(logical_bank)
+        return DecodedAccess(
+            logical_bank=logical_bank,
+            physical_bank=physical_bank,
+            line_in_bank=line_in_bank,
+            select_word=one_hot_encode(physical_bank, self.num_banks),
+        )
+
+    def physical_index(self, index: int) -> int:
+        """Return the post-remap flat index (physical bank ++ line-in-bank)."""
+        decoded = self.decode(index)
+        return (decoded.physical_bank << self.line_bits) | decoded.line_in_bank

@@ -1,0 +1,119 @@
+"""Galois linear-feedback shift register.
+
+The paper's Scrambling remapper (Figure 3b) XORs the ``p`` bank-address
+bits with a value produced by an LFSR every time the ``update`` signal
+fires. We model a Galois LFSR with maximal-length feedback polynomials,
+which is what a synthesis flow would instantiate for a cheap on-chip
+pseudo-random source.
+
+The quality analysis of Section IV-B2 (repetition error of the RNG
+``∝ 1/sqrt(N)``) is implemented on top of this model in
+:mod:`repro.indexing.analysis`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import mask
+
+#: Maximal-length tap masks for Galois LFSRs of width 2..24.
+#:
+#: Entry ``w`` is the feedback mask applied when the LSB shifted out is 1;
+#: each yields a sequence of period ``2**w - 1`` (all non-zero states).
+#: Taken from the standard table of primitive polynomials over GF(2).
+MAXIMAL_TAPS: dict[int, int] = {
+    2: 0b11,
+    3: 0b110,
+    4: 0b1100,
+    5: 0b10100,
+    6: 0b110000,
+    7: 0b1100000,
+    8: 0b10111000,
+    9: 0b100010000,
+    10: 0b1001000000,
+    11: 0b10100000000,
+    12: 0b111000001000,
+    13: 0b1110010000000,
+    14: 0b11100000000010,
+    15: 0b110000000000000,
+    16: 0b1101000000001000,
+    17: 0b10010000000000000,
+    18: 0b100000010000000000,
+    19: 0b1110010000000000000,
+    20: 0b10010000000000000000,
+    21: 0b101000000000000000000,
+    22: 0b1100000000000000000000,
+    23: 0b10000100000000000000000,
+    24: 0b111000010000000000000000,
+}
+
+
+class GaloisLFSR:
+    """A Galois LFSR of ``width`` bits with a maximal-length polynomial.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (2..24).
+    seed:
+        Initial state; must be non-zero after masking to ``width`` bits
+        (the all-zero state is the lock-up state of an XOR LFSR).
+
+    Examples
+    --------
+    >>> lfsr = GaloisLFSR(4, seed=1)
+    >>> states = [lfsr.step() for _ in range(15)]
+    >>> len(set(states))  # maximal length: visits all 15 non-zero states
+    15
+    """
+
+    def __init__(self, width: int, seed: int = 1) -> None:
+        if width not in MAXIMAL_TAPS:
+            raise ConfigurationError(
+                f"unsupported LFSR width {width}; supported: {sorted(MAXIMAL_TAPS)}"
+            )
+        self.width = width
+        self.taps = MAXIMAL_TAPS[width]
+        self._mask = mask(width)
+        state = seed & self._mask
+        if state == 0:
+            raise ConfigurationError("LFSR seed must be non-zero modulo 2**width")
+        self.state = state
+
+    @property
+    def period(self) -> int:
+        """Sequence period (``2**width - 1`` for maximal-length taps)."""
+        return (1 << self.width) - 1
+
+    def step(self) -> int:
+        """Advance one clock and return the new state."""
+        lsb = self.state & 1
+        self.state >>= 1
+        if lsb:
+            self.state ^= self.taps
+        return self.state
+
+    def peek(self) -> int:
+        """Return the current state without advancing."""
+        return self.state
+
+    def sequence(self, count: int) -> list[int]:
+        """Return the next ``count`` states (advancing the register)."""
+        if count < 0:
+            raise ConfigurationError("sequence length must be non-negative")
+        return [self.step() for _ in range(count)]
+
+    def low_bits(self, bits: int) -> int:
+        """Return the ``bits`` least-significant bits of the current state.
+
+        This is the value routed to the Scrambling XOR when the bank
+        address is narrower than the LFSR.
+        """
+        if bits < 0 or bits > self.width:
+            raise ConfigurationError(
+                f"cannot take {bits} bits from a {self.width}-bit LFSR"
+            )
+        return self.state & mask(bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GaloisLFSR(width={self.width}, state=0b{self.state:0{self.width}b})"

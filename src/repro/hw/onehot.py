@@ -1,0 +1,52 @@
+"""One-hot encoding of bank addresses.
+
+The decoder *D* of Figure 1(b) transforms the ``p`` MSBs of the cache
+index into ``M = 2**p`` activation signals: bank 0 corresponds to the
+M-bit encoding ``00...01`` and bank M-1 to ``10...00``. The paper notes
+the longest combinational path through this encoder is a single gate per
+minterm, hence negligible overhead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import is_power_of_two
+
+
+def one_hot_encode(bank: int, num_banks: int) -> int:
+    """Return the one-hot activation word for ``bank`` among ``num_banks``.
+
+    >>> bin(one_hot_encode(0, 4))
+    '0b1'
+    >>> bin(one_hot_encode(3, 4))
+    '0b1000'
+    """
+    if not is_power_of_two(num_banks):
+        raise ConfigurationError(f"num_banks must be a power of two, got {num_banks}")
+    if not 0 <= bank < num_banks:
+        raise ConfigurationError(f"bank {bank} out of range for {num_banks} banks")
+    return 1 << bank
+
+def one_hot_decode(word: int, num_banks: int) -> int:
+    """Return the bank index encoded by the one-hot ``word``.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``word`` is not a valid one-hot encoding for ``num_banks`` banks
+        (zero, multiple bits set, or a bit beyond the bank count).
+
+    >>> one_hot_decode(0b0100, 4)
+    2
+    """
+    if not is_power_of_two(num_banks):
+        raise ConfigurationError(f"num_banks must be a power of two, got {num_banks}")
+    if word <= 0 or word & (word - 1):
+        raise ConfigurationError(f"{bin(word)} is not a one-hot word")
+    bank = word.bit_length() - 1
+    if bank >= num_banks:
+        raise ConfigurationError(
+            f"one-hot word {bin(word)} selects bank {bank} but only "
+            f"{num_banks} banks exist"
+        )
+    return bank

@@ -1,0 +1,103 @@
+"""Bank-remapping datapaths f() of Figure 3.
+
+These are the *hardware-level* models of the two dynamic-indexing
+implementations the paper proposes:
+
+* :class:`ProbingRemapper` — Figure 3(a): a ``p``-bit adder whose second
+  operand is a counter incremented by the ``update`` signal. All
+  arithmetic is naturally modulo ``M = 2**p`` because the datapath is
+  ``p`` bits wide.
+* :class:`ScramblingRemapper` — Figure 3(b): a ``p``-bit XOR whose second
+  operand is (the low bits of) an LFSR stepped by the ``update`` signal.
+* :class:`StaticRemapper` — the degenerate f() of a conventional
+  partitioned cache (no re-indexing); used for the paper's LT0 baseline.
+
+The higher-level policy objects in :mod:`repro.indexing` wrap these
+datapaths with update scheduling and bookkeeping; keeping the pure
+combinational behaviour here lets the tests check bit-exactness against
+the paper's worked Example 1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.lfsr import GaloisLFSR
+from repro.utils.bitops import mask
+
+
+class StaticRemapper:
+    """Identity mapping: bank address passes through unchanged."""
+
+    def __init__(self, p_bits: int) -> None:
+        if p_bits < 0:
+            raise ConfigurationError("p_bits must be non-negative")
+        self.p_bits = p_bits
+
+    def map(self, bank: int) -> int:
+        """Return the physical bank for logical ``bank`` (identity)."""
+        self._check(bank)
+        return bank
+
+    def update(self) -> None:
+        """The update signal is a no-op for a static mapping."""
+
+    def _check(self, bank: int) -> None:
+        if not 0 <= bank < (1 << self.p_bits):
+            raise ConfigurationError(
+                f"bank {bank} out of range for p={self.p_bits}"
+            )
+
+
+class ProbingRemapper(StaticRemapper):
+    """Adder + counter datapath (Figure 3a).
+
+    After ``R`` updates, logical bank ``i`` maps to physical bank
+    ``(i + R) mod M`` — the paper's Example 1 behaviour. With an increment
+    of 1 this is proven (in the paper's reference [7]) to distribute
+    accesses perfectly uniformly once at least ``M`` updates have occurred.
+    """
+
+    def __init__(self, p_bits: int, increment: int = 1) -> None:
+        super().__init__(p_bits)
+        if increment <= 0:
+            raise ConfigurationError("probing increment must be positive")
+        self.increment = increment
+        self.counter = 0
+
+    def map(self, bank: int) -> int:
+        """Return ``(bank + counter) mod M``."""
+        self._check(bank)
+        return (bank + self.counter) & mask(self.p_bits)
+
+    def update(self) -> None:
+        """Pulse the update signal: advance the offset counter."""
+        self.counter = (self.counter + self.increment) & mask(self.p_bits)
+
+
+class ScramblingRemapper(StaticRemapper):
+    """XOR + LFSR datapath (Figure 3b).
+
+    Every update steps the LFSR; the bank address is XORed with the low
+    ``p`` bits of its state. The XOR keeps the mapping a bijection on the
+    bank set for any scrambling word, so no two logical banks collide.
+    """
+
+    def __init__(self, p_bits: int, lfsr_width: int = 16, seed: int = 0xACE1) -> None:
+        super().__init__(p_bits)
+        if p_bits > 0 and lfsr_width < p_bits:
+            raise ConfigurationError(
+                f"LFSR width {lfsr_width} narrower than bank address {p_bits}"
+            )
+        self.lfsr = GaloisLFSR(lfsr_width, seed=seed) if p_bits > 0 else None
+        self.word = 0
+
+    def map(self, bank: int) -> int:
+        """Return ``bank XOR scrambling_word``."""
+        self._check(bank)
+        return bank ^ self.word
+
+    def update(self) -> None:
+        """Pulse the update signal: step the LFSR and latch a new word."""
+        if self.lfsr is not None:
+            self.lfsr.step()
+            self.word = self.lfsr.low_bits(self.p_bits)

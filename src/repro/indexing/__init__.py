@@ -1,0 +1,42 @@
+"""Dynamic indexing policies — the paper's core contribution.
+
+A policy wraps one of the remapping datapaths of :mod:`repro.hw.remap`
+with naming, construction-by-name, and update scheduling:
+
+* ``static`` — conventional partitioned cache (the LT0 baseline);
+* ``probing`` — Figure 3(a), provably uniform after >= M updates;
+* ``scrambling`` — Figure 3(b), asymptotically uniform.
+
+:mod:`repro.indexing.update` schedules when the ``update`` signal fires
+(periodically in simulations; piggybacked on cache flushes in a real
+system), and :mod:`repro.indexing.analysis` quantifies how uniformly a
+policy spreads a bank address over the banks (Section IV-B2).
+"""
+
+from repro.indexing.analysis import (
+    mapping_histogram,
+    rng_repetition_error,
+    uniformity_error,
+)
+from repro.indexing.policies import (
+    POLICY_NAMES,
+    IndexingPolicy,
+    ProbingPolicy,
+    ScramblingPolicy,
+    StaticPolicy,
+    make_policy,
+)
+from repro.indexing.update import UpdateSchedule
+
+__all__ = [
+    "IndexingPolicy",
+    "StaticPolicy",
+    "ProbingPolicy",
+    "ScramblingPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "UpdateSchedule",
+    "mapping_histogram",
+    "uniformity_error",
+    "rng_repetition_error",
+]

@@ -1,0 +1,83 @@
+"""Uniformity analysis of indexing policies (Section IV-B2).
+
+The paper argues:
+
+* Probing with increment 1 is *perfectly* uniform once the number of
+  updates is a multiple of M (each logical bank has then visited every
+  physical bank equally often);
+* Scrambling's quality is governed by the repetition statistics of its
+  RNG: over N updates each of the M scrambling words should ideally
+  repeat N/M times, and for a uniform generator the relative deviation
+  (the paper's *error*) decays as 1/sqrt(N).
+
+These functions measure exactly those quantities so the policy bench
+can plot the paper's claimed convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.indexing.policies import IndexingPolicy
+
+
+def mapping_histogram(policy: IndexingPolicy, num_updates: int) -> np.ndarray:
+    """Visit counts: ``hist[logical, physical]`` over ``num_updates`` epochs.
+
+    Epoch 0 uses the policy's initial mapping; each subsequent epoch
+    follows one update. The policy object is advanced (pass a fresh one).
+    """
+    if num_updates < 0:
+        raise ConfigurationError("num_updates must be non-negative")
+    m = policy.num_banks
+    hist = np.zeros((m, m), dtype=np.int64)
+    for epoch in range(num_updates + 1):
+        mapping = policy.mapping()
+        hist[np.arange(m), mapping] += 1
+        if epoch < num_updates:
+            policy.update()
+    return hist
+
+
+def uniformity_error(hist: np.ndarray) -> float:
+    """Relative max deviation of visit counts from the uniform ideal.
+
+    0.0 means every logical bank spent exactly the same number of epochs
+    on every physical bank (probing after k*M updates); larger values
+    mean some bank pair is over- or under-visited.
+    """
+    if hist.ndim != 2 or hist.shape[0] != hist.shape[1]:
+        raise ConfigurationError("histogram must be square")
+    total_epochs = hist.sum(axis=1)
+    if not np.all(total_epochs == total_epochs[0]):
+        raise ConfigurationError("histogram rows cover different epoch counts")
+    ideal = total_epochs[0] / hist.shape[1]
+    if ideal == 0:
+        return 0.0
+    return float(np.max(np.abs(hist - ideal)) / ideal)
+
+
+def rng_repetition_error(words: np.ndarray, num_values: int) -> float:
+    """The paper's RNG *error*: deviation of value repetition from N/M.
+
+    Parameters
+    ----------
+    words:
+        Sequence of generated scrambling words.
+    num_values:
+        M — size of the value range ``[0, M)``.
+
+    Returns the max relative deviation of any value's count from the
+    ideal ``N/M``. For a uniform RNG this decays as ``1/sqrt(N)``.
+    """
+    if num_values < 1:
+        raise ConfigurationError("num_values must be positive")
+    words = np.asarray(words)
+    if words.size == 0:
+        return 0.0
+    if np.any((words < 0) | (words >= num_values)):
+        raise ConfigurationError("words outside [0, num_values)")
+    counts = np.bincount(words, minlength=num_values)
+    ideal = words.size / num_values
+    return float(np.max(np.abs(counts - ideal)) / ideal)

@@ -1,0 +1,40 @@
+"""Power management substrate: states, idleness, breakeven, energy.
+
+This package models everything below the indexing layer:
+
+* :mod:`repro.power.state` — bank power states (active / drowsy).
+* :mod:`repro.power.idleness` — extraction of idle intervals from access
+  streams and the paper's *useful idleness* metric (Section III-A2): the
+  share of time a bank can actually spend asleep, counting only idle
+  intervals longer than the breakeven time.
+* :mod:`repro.power.controller` — the Block Control unit of Figure 1(b):
+  one saturating counter per bank, incremented on non-access, reset on
+  access; terminal count puts the bank to sleep.
+* :mod:`repro.power.breakeven` — breakeven-time computation from the
+  technology parameters (the counter's programmed limit).
+* :mod:`repro.power.energy` — the 45nm-like energy model (per-line and
+  per-bit access/leakage coefficients, tag arrays, drowsy retention,
+  bank wiring overhead) used to reproduce the paper's energy savings.
+"""
+
+from repro.power.breakeven import breakeven_cycles
+from repro.power.controller import BlockControl
+from repro.power.energy import BankEnergyBreakdown, EnergyModel, TechnologyParams
+from repro.power.idleness import (
+    BankIdleStats,
+    IdlenessAccountant,
+    stats_from_access_cycles,
+)
+from repro.power.state import PowerState
+
+__all__ = [
+    "PowerState",
+    "BankIdleStats",
+    "IdlenessAccountant",
+    "stats_from_access_cycles",
+    "BlockControl",
+    "breakeven_cycles",
+    "EnergyModel",
+    "TechnologyParams",
+    "BankEnergyBreakdown",
+]

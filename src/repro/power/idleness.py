@@ -1,0 +1,223 @@
+"""Idle-interval accounting and the *useful idleness* metric.
+
+Section III-A2 defines the useful idleness of a block as the share of
+its idleness that can actually be converted into sleep: only idle
+intervals longer than the breakeven time count, and for each such
+interval the bank is asleep once the Block Control counter saturates —
+i.e. for ``gap - breakeven`` of the ``gap`` idle cycles.
+
+Two implementations are provided and tested against each other:
+
+* :class:`IdlenessAccountant` — incremental, used by the reference
+  simulator (one update per access);
+* :func:`stats_from_access_cycles` — vectorized over a whole epoch of
+  per-bank access cycles, used by the fast simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class BankIdleStats:
+    """Idleness summary of one bank over a simulation.
+
+    Attributes
+    ----------
+    accesses:
+        Number of accesses routed to the bank.
+    idle_intervals:
+        Number of maximal idle gaps (including a trailing gap at the end
+        of the simulation, if any).
+    useful_intervals:
+        Idle gaps longer than the breakeven time.
+    idle_cycles:
+        Total cycles with no access to the bank.
+    sleep_cycles:
+        Cycles actually spent in the drowsy state
+        (``sum(gap - breakeven)`` over useful gaps).
+    transitions:
+        Sleep entries (equal to wake-ups, as the simulation ends awake
+        accounting-wise).
+    total_cycles:
+        Length of the observation window.
+    """
+
+    accesses: int = 0
+    idle_intervals: int = 0
+    useful_intervals: int = 0
+    idle_cycles: int = 0
+    sleep_cycles: int = 0
+    transitions: int = 0
+    total_cycles: int = 0
+
+    @property
+    def useful_idleness(self) -> float:
+        """Fraction of total time spent asleep — the paper's ``I`` metric."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.sleep_cycles / self.total_cycles
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of total time with no access (breakeven ignored)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.idle_cycles / self.total_cycles
+
+    @property
+    def useful_interval_fraction(self) -> float:
+        """Count-based variant: share of idle intervals that are useful."""
+        if self.idle_intervals == 0:
+            return 0.0
+        return self.useful_intervals / self.idle_intervals
+
+    @property
+    def active_cycles(self) -> int:
+        """Cycles at full Vdd (total minus sleep)."""
+        return self.total_cycles - self.sleep_cycles
+
+    def merge(self, other: "BankIdleStats") -> "BankIdleStats":
+        """Combine stats from two consecutive observation windows.
+
+        The boundary gap is handled by the caller (the fast engine closes
+        epochs explicitly); this just sums the counters.
+        """
+        return BankIdleStats(
+            accesses=self.accesses + other.accesses,
+            idle_intervals=self.idle_intervals + other.idle_intervals,
+            useful_intervals=self.useful_intervals + other.useful_intervals,
+            idle_cycles=self.idle_cycles + other.idle_cycles,
+            sleep_cycles=self.sleep_cycles + other.sleep_cycles,
+            transitions=self.transitions + other.transitions,
+            total_cycles=self.total_cycles + other.total_cycles,
+        )
+
+
+class IdlenessAccountant:
+    """Incremental per-bank idleness bookkeeping for the reference engine.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of physical banks tracked.
+    breakeven:
+        Breakeven time in cycles (same for all banks of a uniform
+        partition).
+    start_cycle:
+        First cycle of the observation window.
+
+    Notes
+    -----
+    An access at cycle ``c`` after a previous event at cycle ``p``
+    implies an idle gap of ``c - p - 1`` cycles (the access cycles
+    themselves are busy). Banks are considered busy at ``start_cycle - 1``
+    so a leading gap is measured like any other.
+    """
+
+    def __init__(self, num_banks: int, breakeven: int, start_cycle: int = 0) -> None:
+        if num_banks < 1:
+            raise SimulationError("need at least one bank")
+        if breakeven < 1:
+            raise SimulationError("breakeven must be >= 1 cycle")
+        self.num_banks = num_banks
+        self.breakeven = breakeven
+        self.start_cycle = start_cycle
+        self._last_event = [start_cycle - 1] * num_banks
+        self._stats = [BankIdleStats() for _ in range(num_banks)]
+        self._finalized = False
+
+    def on_access(self, bank: int, cycle: int) -> bool:
+        """Record an access; return True if it woke a sleeping bank."""
+        if self._finalized:
+            raise SimulationError("accountant already finalized")
+        if not 0 <= bank < self.num_banks:
+            raise SimulationError(f"bank {bank} out of range")
+        last = self._last_event[bank]
+        if cycle <= last:
+            raise SimulationError(
+                f"non-monotonic access at cycle {cycle} (last event {last})"
+            )
+        woke = self._close_gap(bank, cycle - last - 1)
+        stats = self._stats[bank]
+        stats.accesses += 1
+        self._last_event[bank] = cycle
+        return woke
+
+    def _close_gap(self, bank: int, gap: int) -> bool:
+        """Account one idle gap; return True if the bank had gone to sleep."""
+        if gap <= 0:
+            return False
+        stats = self._stats[bank]
+        stats.idle_intervals += 1
+        stats.idle_cycles += gap
+        if gap > self.breakeven:
+            stats.useful_intervals += 1
+            stats.sleep_cycles += gap - self.breakeven
+            stats.transitions += 1
+            return True
+        return False
+
+    def finalize(self, end_cycle: int) -> list[BankIdleStats]:
+        """Close trailing gaps and return the per-bank stats.
+
+        ``end_cycle`` is one past the last simulated cycle (the window is
+        ``[start_cycle, end_cycle)``).
+        """
+        if self._finalized:
+            raise SimulationError("accountant already finalized")
+        total = end_cycle - self.start_cycle
+        if total < 0:
+            raise SimulationError("end_cycle precedes start_cycle")
+        for bank in range(self.num_banks):
+            self._close_gap(bank, end_cycle - self._last_event[bank] - 1)
+            self._stats[bank].total_cycles = total
+        self._finalized = True
+        return self._stats
+
+
+def stats_from_access_cycles(
+    access_cycles: np.ndarray,
+    breakeven: int,
+    start_cycle: int,
+    end_cycle: int,
+) -> BankIdleStats:
+    """Vectorized idleness stats for one bank over one epoch.
+
+    Parameters
+    ----------
+    access_cycles:
+        Strictly increasing cycle numbers of the accesses to this bank.
+    breakeven:
+        Breakeven time in cycles.
+    start_cycle, end_cycle:
+        Observation window ``[start_cycle, end_cycle)``.
+
+    This mirrors :class:`IdlenessAccountant` exactly (tests enforce it):
+    gaps are measured between consecutive accesses, plus a leading gap
+    from ``start_cycle - 1`` and a trailing gap to ``end_cycle``.
+    """
+    cycles = np.asarray(access_cycles, dtype=np.int64)
+    if cycles.size and (np.any(np.diff(cycles) <= 0)):
+        raise SimulationError("access cycles must be strictly increasing")
+    if cycles.size and (cycles[0] < start_cycle or cycles[-1] >= end_cycle):
+        raise SimulationError("access cycles outside the observation window")
+
+    boundaries = np.concatenate(([start_cycle - 1], cycles, [end_cycle]))
+    gaps = np.diff(boundaries) - 1
+    gaps = gaps[gaps > 0]
+    useful = gaps[gaps > breakeven]
+    return BankIdleStats(
+        accesses=int(cycles.size),
+        idle_intervals=int(gaps.size),
+        useful_intervals=int(useful.size),
+        idle_cycles=int(gaps.sum()) if gaps.size else 0,
+        sleep_cycles=int((useful - breakeven).sum()) if useful.size else 0,
+        transitions=int(useful.size),
+        total_cycles=int(end_cycle - start_cycle),
+    )

@@ -1,0 +1,27 @@
+"""Bank power states.
+
+The paper's low-power state is a *drowsy* (voltage-scaled) state rather
+than power gating: memory-compiler blocks cannot be gated without
+touching their internals, and voltage scaling preserves the stored data
+(Section III-A1). A bank is therefore always in one of two states.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PowerState(Enum):
+    """Operating state of one cache bank."""
+
+    #: Full Vdd; the bank serves accesses at nominal latency.
+    ACTIVE = "active"
+
+    #: Retention voltage Vdd_low; contents preserved, access requires a
+    #: wake-up transition first.
+    DROWSY = "drowsy"
+
+    @property
+    def is_low_power(self) -> bool:
+        """True for the drowsy state."""
+        return self is PowerState.DROWSY

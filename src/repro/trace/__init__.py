@@ -1,0 +1,42 @@
+"""Trace infrastructure and synthetic MediaBench-like workloads.
+
+The paper drives its cache simulator with address traces from the
+MediaBench suite. Those traces are not redistributable, so this package
+provides (see DESIGN.md, substitution S1):
+
+* :mod:`repro.trace.trace` — the numpy-backed :class:`Trace` container
+  (strictly increasing cycle stamps + byte addresses);
+* :mod:`repro.trace.io` — text and binary trace file formats;
+* :mod:`repro.trace.schedule` — windowed ON/OFF activity schedules over
+  16 address sub-regions (4 bank groups × 4 quarters);
+* :mod:`repro.trace.synthetic` — low-level address-pattern walkers
+  (strided loops over working sets with slowly-cycling tags);
+* :mod:`repro.trace.mediabench` — one calibrated profile per paper
+  benchmark, anchored to Table I's published per-bank idleness;
+* :mod:`repro.trace.generator` — materializes a schedule + profile into
+  a concrete :class:`Trace` for a given cache geometry.
+"""
+
+from repro.trace.generator import WorkloadGenerator
+from repro.trace.io import load_trace, save_trace
+from repro.trace.mediabench import (
+    BENCHMARK_NAMES,
+    BenchmarkProfile,
+    PROFILES,
+    profile_for,
+)
+from repro.trace.schedule import ActivitySchedule, ScheduleParams
+from repro.trace.trace import Trace
+
+__all__ = [
+    "Trace",
+    "save_trace",
+    "load_trace",
+    "ActivitySchedule",
+    "ScheduleParams",
+    "BenchmarkProfile",
+    "PROFILES",
+    "BENCHMARK_NAMES",
+    "profile_for",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,145 @@
+"""Materialize a benchmark profile into a concrete address trace.
+
+The generator composes three layers:
+
+1. the **activity schedule** (which regions are busy in which windows,
+   :mod:`repro.trace.schedule`) — geometry-independent;
+2. the **region walkers** (which lines a busy region touches,
+   :mod:`repro.trace.synthetic`) — instantiated per cache geometry, with
+   each region covering ``num_sets / 16`` consecutive sets;
+3. the **intra-window timing**: a busy region is accessed every
+   ``access_stride_cycles`` cycles, with a per-region phase so streams
+   from simultaneously busy regions interleave instead of colliding
+   (the cache is single-ported). The stride is far below the breakeven
+   time, so busy windows contribute no useful idleness — all useful
+   idleness comes from scheduled idle windows, which is what the
+   calibration relies on.
+
+The index space is normalized: the same schedule drives any cache size
+or line size, with the region boundaries scaling along. This mirrors the
+paper's observation that idleness "is not directly impacted by the cache
+size, since it depends on the idleness distribution over the cache
+lines" (Section IV-B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.trace.mediabench import BenchmarkProfile
+from repro.trace.schedule import NUM_REGIONS, ActivitySchedule
+from repro.trace.synthetic import make_walkers
+from repro.trace.trace import Trace
+from repro.utils.rng import RandomStreams
+
+
+class WorkloadGenerator:
+    """Generate traces for benchmark profiles on a given cache geometry.
+
+    Parameters
+    ----------
+    geometry:
+        Target cache geometry (regions are sized from its set count).
+    num_windows:
+        Schedule length; more windows tighten the idleness calibration.
+    window_cycles:
+        Cycles per window; must comfortably exceed the breakeven time so
+        idle windows convert to sleep.
+    master_seed:
+        Seed of the deterministic stream family; the same seed yields
+        bit-identical traces.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        num_windows: int = 1500,
+        window_cycles: int = 1024,
+        master_seed: int = 2011,
+    ) -> None:
+        if geometry.num_sets < NUM_REGIONS:
+            raise ConfigurationError(
+                f"geometry has {geometry.num_sets} sets; the workload model "
+                f"needs at least {NUM_REGIONS}"
+            )
+        if num_windows < 10:
+            raise ConfigurationError("need at least 10 windows")
+        if window_cycles < 64:
+            raise ConfigurationError("windows must be at least 64 cycles")
+        self.geometry = geometry
+        self.num_windows = num_windows
+        self.window_cycles = window_cycles
+        self.streams = RandomStreams(master_seed)
+
+    @property
+    def region_sets(self) -> int:
+        """Consecutive sets per region."""
+        return self.geometry.num_sets // NUM_REGIONS
+
+    def generate(self, profile: BenchmarkProfile) -> Trace:
+        """Produce the trace for ``profile`` on this generator's geometry."""
+        rng_schedule = self.streams.get(f"schedule/{profile.name}")
+        rng_walk = self.streams.get(f"walk/{profile.name}")
+        schedule = ActivitySchedule(
+            profile.schedule_params(), self.num_windows, rng_schedule
+        )
+        walkers = make_walkers(
+            NUM_REGIONS, self.region_sets, profile.working_fraction, rng_walk
+        )
+
+        stride = profile.access_stride_cycles
+        offset_bits = self.geometry.offset_bits
+        index_bits = self.geometry.index_bits
+
+        cycle_chunks: list[np.ndarray] = []
+        address_chunks: list[np.ndarray] = []
+        turnover = rng_walk.random(int(schedule.busy.sum())) < profile.tag_turnover
+        pair_counter = 0
+
+        for window in range(self.num_windows):
+            busy_regions = np.nonzero(schedule.busy[window])[0]
+            n_busy = int(busy_regions.size)
+            if n_busy == 0:
+                continue
+            window_start = window * self.window_cycles
+            # One merged single-ported stream: accesses every eff_stride
+            # cycles, handed to the busy regions round-robin, so each
+            # region sees a gap of ~`stride` cycles (always below the
+            # breakeven time) and no two accesses share a cycle.
+            eff_stride = max(1, stride // n_busy)
+            cycles = window_start + np.arange(
+                0, self.window_cycles, eff_stride, dtype=np.int64
+            )
+            slots = np.arange(cycles.size) % n_busy
+            addresses = np.empty(cycles.size, dtype=np.int64)
+            for j, region in enumerate(busy_regions):
+                walker = walkers[int(region)]
+                if turnover[pair_counter]:
+                    walker.advance_generation()
+                pair_counter += 1
+                positions = np.nonzero(slots == j)[0]
+                offsets = walker.walk(positions.size)
+                sets = int(region) * self.region_sets + offsets
+                addresses[positions] = (
+                    np.int64(walker.tag_generation) << (offset_bits + index_bits)
+                ) | (sets << offset_bits)
+            cycle_chunks.append(cycles)
+            address_chunks.append(addresses)
+
+        horizon = self.num_windows * self.window_cycles
+        if not cycle_chunks:
+            return Trace(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                horizon=horizon,
+                name=profile.name,
+            )
+
+        return Trace(
+            cycles=np.concatenate(cycle_chunks),
+            addresses=np.concatenate(address_chunks),
+            horizon=horizon,
+            name=profile.name,
+        )

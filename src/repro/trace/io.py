@@ -1,0 +1,84 @@
+"""Trace file I/O.
+
+Two formats:
+
+* **Text** (``.trc``) — one ``<cycle> <hex-address>`` pair per line,
+  ``#`` comments, a ``# horizon: N`` header. Human-readable, diff-able,
+  the format examples and tests use.
+* **Binary** (``.npz``) — compressed numpy archive for long traces.
+
+Both round-trip exactly (tests enforce it).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.trace import Trace
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Write ``trace`` to ``path``; format chosen by extension."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        np.savez_compressed(
+            path,
+            cycles=trace.cycles,
+            addresses=trace.addresses,
+            horizon=np.asarray([trace.horizon], dtype=np.int64),
+            name=np.asarray([trace.name]),
+        )
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# repro trace v1\n")
+        if trace.name:
+            handle.write(f"# name: {trace.name}\n")
+        handle.write(f"# horizon: {trace.horizon}\n")
+        for cycle, address in trace:
+            handle.write(f"{cycle} 0x{address:x}\n")
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        with np.load(path, allow_pickle=False) as data:
+            return Trace(
+                cycles=data["cycles"],
+                addresses=data["addresses"],
+                horizon=int(data["horizon"][0]),
+                name=str(data["name"][0]),
+            )
+    cycles: list[int] = []
+    addresses: list[int] = []
+    horizon = 0
+    name = ""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("horizon:"):
+                    horizon = int(body.split(":", 1)[1])
+                elif body.startswith("name:"):
+                    name = body.split(":", 1)[1].strip()
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceError(f"{path}:{lineno}: expected '<cycle> <address>'")
+            try:
+                cycles.append(int(parts[0]))
+                addresses.append(int(parts[1], 0))
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from exc
+    return Trace(
+        cycles=np.asarray(cycles, dtype=np.int64),
+        addresses=np.asarray(addresses, dtype=np.int64),
+        horizon=horizon,
+        name=name,
+    )

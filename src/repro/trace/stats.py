@@ -1,0 +1,123 @@
+"""Workload characterization.
+
+Given any trace and a cache geometry, compute the quantities that
+determine how the architecture will behave: access density, footprint,
+per-bank access shares, inter-access gap statistics, and the scheduled
+idleness signature. Used to sanity-check bring-your-own traces before a
+simulation campaign (and by the workload tests to validate the
+generator's output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import TraceError
+from repro.trace.trace import Trace
+from repro.utils.bitops import log2_exact, mask
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Characterization summary of one trace on one geometry.
+
+    Attributes
+    ----------
+    accesses:
+        Total accesses.
+    horizon:
+        Simulated cycles.
+    access_density:
+        Accesses per cycle.
+    distinct_lines:
+        Cache lines touched at least once.
+    footprint_bytes:
+        Distinct line-addresses touched times the line size (the true
+        memory footprint, tags included).
+    bank_shares:
+        Fraction of accesses landing in each bank of an M-way split.
+    gap_percentiles:
+        {50, 90, 99} percentiles of the global inter-access gap.
+    reuse_distance_median:
+        Median number of accesses between consecutive touches of the
+        same line (a cheap locality proxy).
+    """
+
+    accesses: int
+    horizon: int
+    access_density: float
+    distinct_lines: int
+    footprint_bytes: int
+    bank_shares: tuple[float, ...]
+    gap_percentiles: dict[int, float]
+    reuse_distance_median: float
+
+
+def profile_trace(trace: Trace, geometry: CacheGeometry, num_banks: int = 4) -> TraceProfile:
+    """Characterize ``trace`` as seen by ``geometry`` split into banks."""
+    if num_banks < 1 or geometry.num_sets % num_banks:
+        raise TraceError(f"cannot split {geometry.num_sets} sets into {num_banks} banks")
+    if len(trace) == 0:
+        return TraceProfile(
+            accesses=0,
+            horizon=trace.horizon,
+            access_density=0.0,
+            distinct_lines=0,
+            footprint_bytes=0,
+            bank_shares=tuple(0.0 for _ in range(num_banks)),
+            gap_percentiles={50: 0.0, 90: 0.0, 99: 0.0},
+            reuse_distance_median=0.0,
+        )
+
+    index = (trace.addresses >> geometry.offset_bits) & mask(geometry.index_bits)
+    line_bits = geometry.index_bits - log2_exact(num_banks)
+    bank = index >> line_bits
+    counts = np.bincount(bank, minlength=num_banks)
+    shares = tuple(float(c) / len(trace) for c in counts)
+
+    line_addresses = trace.addresses >> geometry.offset_bits
+    distinct_line_addresses = int(np.unique(line_addresses).size)
+    distinct_lines = int(np.unique(index).size)
+
+    gaps = np.diff(trace.cycles)
+    percentiles = {
+        q: float(np.percentile(gaps, q)) if gaps.size else 0.0 for q in (50, 90, 99)
+    }
+
+    # Reuse distance (in accesses) per line address: sort by (line, pos).
+    order = np.lexsort((np.arange(len(trace)), line_addresses))
+    sorted_lines = line_addresses[order]
+    positions = np.asarray(order, dtype=np.int64)
+    same = sorted_lines[1:] == sorted_lines[:-1]
+    reuse = (positions[1:] - positions[:-1])[same]
+    reuse_median = float(np.median(reuse)) if reuse.size else float("inf")
+
+    return TraceProfile(
+        accesses=len(trace),
+        horizon=trace.horizon,
+        access_density=trace.access_density,
+        distinct_lines=distinct_lines,
+        footprint_bytes=distinct_line_addresses * geometry.line_size,
+        bank_shares=shares,
+        gap_percentiles=percentiles,
+        reuse_distance_median=reuse_median,
+    )
+
+
+def describe_profile(profile: TraceProfile) -> str:
+    """Render a profile as a short human-readable report."""
+    shares = ", ".join(f"{s:.1%}" for s in profile.bank_shares)
+    return (
+        f"accesses={profile.accesses:,} over {profile.horizon:,} cycles "
+        f"({profile.access_density:.2f}/cycle)\n"
+        f"footprint={profile.footprint_bytes / 1024:.1f} kB "
+        f"({profile.distinct_lines} cache lines touched)\n"
+        f"bank shares: [{shares}]\n"
+        f"inter-access gaps: p50={profile.gap_percentiles[50]:.0f} "
+        f"p90={profile.gap_percentiles[90]:.0f} "
+        f"p99={profile.gap_percentiles[99]:.0f} cycles\n"
+        f"median reuse distance: {profile.reuse_distance_median:.0f} accesses"
+    )

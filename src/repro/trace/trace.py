@@ -1,0 +1,120 @@
+"""The :class:`Trace` container: a timed stream of memory accesses.
+
+A trace is two parallel numpy arrays — strictly increasing cycle stamps
+and byte addresses — plus an explicit ``horizon`` (the total number of
+simulated cycles, which may extend past the last access: trailing
+idleness is real idleness and must be accounted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, validated memory-access trace.
+
+    Attributes
+    ----------
+    cycles:
+        int64 array of access times, strictly increasing (the modelled
+        cache is single-ported).
+    addresses:
+        int64 array of byte addresses, same length.
+    horizon:
+        Total simulated cycles; defaults to ``cycles[-1] + 1``.
+    name:
+        Optional label (benchmark name) carried into reports.
+    """
+
+    cycles: np.ndarray
+    addresses: np.ndarray
+    horizon: int = 0
+    name: str = ""
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        cycles = np.ascontiguousarray(self.cycles, dtype=np.int64)
+        addresses = np.ascontiguousarray(self.addresses, dtype=np.int64)
+        object.__setattr__(self, "cycles", cycles)
+        object.__setattr__(self, "addresses", addresses)
+        if cycles.shape != addresses.shape or cycles.ndim != 1:
+            raise TraceError("cycles and addresses must be equal-length 1-D arrays")
+        if cycles.size:
+            if cycles[0] < 0:
+                raise TraceError("cycle stamps must be non-negative")
+            if np.any(np.diff(cycles) <= 0):
+                raise TraceError("cycle stamps must be strictly increasing")
+            if np.any(addresses < 0):
+                raise TraceError("addresses must be non-negative")
+        default_horizon = int(cycles[-1]) + 1 if cycles.size else 0
+        horizon = self.horizon if self.horizon else default_horizon
+        if horizon < default_horizon:
+            raise TraceError(
+                f"horizon {horizon} shorter than the last access "
+                f"({default_horizon - 1})"
+            )
+        object.__setattr__(self, "horizon", horizon)
+        object.__setattr__(self, "_validated", True)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.cycles.size)
+
+    def __iter__(self):
+        """Iterate ``(cycle, address)`` pairs as Python ints."""
+        for c, a in zip(self.cycles.tolist(), self.addresses.tolist()):
+            yield c, a
+
+    @property
+    def duration(self) -> int:
+        """Simulated cycles (alias of :attr:`horizon`)."""
+        return self.horizon
+
+    @property
+    def access_density(self) -> float:
+        """Accesses per cycle over the horizon."""
+        if self.horizon == 0:
+            return 0.0
+        return len(self) / self.horizon
+
+    def slice(self, start_cycle: int, end_cycle: int) -> "Trace":
+        """Return the sub-trace with cycles in ``[start_cycle, end_cycle)``.
+
+        Cycle stamps are kept absolute; the horizon becomes
+        ``end_cycle``.
+        """
+        if start_cycle < 0 or end_cycle < start_cycle:
+            raise TraceError("invalid slice bounds")
+        lo = int(np.searchsorted(self.cycles, start_cycle, side="left"))
+        hi = int(np.searchsorted(self.cycles, end_cycle, side="left"))
+        return Trace(
+            cycles=self.cycles[lo:hi],
+            addresses=self.addresses[lo:hi],
+            horizon=end_cycle,
+            name=self.name,
+        )
+
+    def with_name(self, name: str) -> "Trace":
+        """Return a renamed copy (arrays shared)."""
+        return Trace(self.cycles, self.addresses, self.horizon, name)
+
+    @classmethod
+    def from_pairs(cls, pairs, horizon: int = 0, name: str = "") -> "Trace":
+        """Build a trace from an iterable of ``(cycle, address)`` pairs."""
+        pairs = list(pairs)
+        if pairs:
+            cycles, addresses = zip(*pairs)
+        else:
+            cycles, addresses = (), ()
+        return cls(
+            cycles=np.asarray(cycles, dtype=np.int64),
+            addresses=np.asarray(addresses, dtype=np.int64),
+            horizon=horizon,
+            name=name,
+        )

@@ -1,0 +1,51 @@
+"""Small generic utilities shared across the ``repro`` package.
+
+Modules
+-------
+bitops
+    Power-of-two arithmetic and bit-field extraction helpers used by the
+    hardware-level models and the cache geometry code.
+rng
+    Deterministic, named random streams so every experiment is exactly
+    reproducible from a single seed.
+units
+    Time and energy unit conversions (cycles/seconds/years, J/pJ).
+tables
+    Minimal ASCII table renderer for experiment reports.
+"""
+
+from repro.utils.bitops import (
+    bit_slice,
+    bits_required,
+    is_power_of_two,
+    log2_exact,
+    mask,
+)
+from repro.utils.rng import RandomStreams
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    CYCLES_PER_SECOND_DEFAULT,
+    SECONDS_PER_YEAR,
+    cycles_to_seconds,
+    joules,
+    picojoules,
+    seconds_to_years,
+    years_to_seconds,
+)
+
+__all__ = [
+    "bit_slice",
+    "bits_required",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "RandomStreams",
+    "format_table",
+    "CYCLES_PER_SECOND_DEFAULT",
+    "SECONDS_PER_YEAR",
+    "cycles_to_seconds",
+    "seconds_to_years",
+    "years_to_seconds",
+    "joules",
+    "picojoules",
+]

@@ -1,0 +1,117 @@
+"""Bit-level helpers for hardware-style address manipulation.
+
+All cache and decoder arithmetic in this package works on non-negative
+integers interpreted as fixed-width bit vectors, exactly as the RTL of the
+paper's decoder block *D* (Fig. 1b) would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two.
+
+    >>> is_power_of_two(16)
+    True
+    >>> is_power_of_two(0)
+    False
+    >>> is_power_of_two(24)
+    False
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``value`` is not a positive power of two.
+
+    >>> log2_exact(1024)
+    10
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def bits_required(value: int) -> int:
+    """Return the number of bits needed to represent ``value`` (min 1).
+
+    This is the counter width the Block Control logic needs to count up to
+    ``value`` (the breakeven time, Section III-A1 of the paper).
+
+    >>> bits_required(24)
+    5
+    >>> bits_required(0)
+    1
+    """
+    if value < 0:
+        raise ConfigurationError("bits_required() needs a non-negative value")
+    return max(1, int(value).bit_length())
+
+
+def mask(width: int) -> int:
+    """Return a bit mask of ``width`` ones.
+
+    >>> hex(mask(4))
+    '0xf'
+    """
+    if width < 0:
+        raise ConfigurationError("mask width must be non-negative")
+    return (1 << width) - 1
+
+
+def bit_slice(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    This mirrors a verilog-style part select ``value[low +: width]``.
+
+    >>> bit_slice(0b1101_0110, 4, 4)
+    13
+    """
+    if value < 0:
+        raise ConfigurationError("bit_slice() operates on non-negative values")
+    if low < 0 or width < 0:
+        raise ConfigurationError("bit_slice() indices must be non-negative")
+    return (value >> low) & mask(width)
+
+
+def concat_bits(high: int, high_width: int, low: int, low_width: int) -> int:
+    """Concatenate two bit fields: ``{high[high_width-1:0], low[low_width-1:0]}``.
+
+    >>> bin(concat_bits(0b10, 2, 0b011, 3))
+    '0b10011'
+    """
+    return ((high & mask(high_width)) << low_width) | (low & mask(low_width))
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the ``width`` least-significant bits of ``value``.
+
+    >>> bin(reverse_bits(0b0011, 4))
+    '0b1100'
+    """
+    if width < 0:
+        raise ConfigurationError("reverse_bits width must be non-negative")
+    result = 0
+    for i in range(width):
+        result = (result << 1) | ((value >> i) & 1)
+    return result
+
+
+def parity(value: int) -> int:
+    """Return the XOR-parity (0 or 1) of all bits of ``value``.
+
+    Used by the LFSR feedback network.
+
+    >>> parity(0b1011)
+    1
+    """
+    if value < 0:
+        raise ConfigurationError("parity() operates on non-negative values")
+    return bin(value).count("1") & 1

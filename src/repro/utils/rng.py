@@ -1,0 +1,59 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the library (workload generation, scrambling
+LFSR seeding, noise injection in tests) draws from a *named* stream derived
+from a single master seed. Two runs with the same master seed therefore
+produce bit-identical results regardless of the order in which components
+ask for their streams — a property the experiment harness and the
+regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent, reproducible :class:`numpy.random.Generator`\\ s.
+
+    Parameters
+    ----------
+    master_seed:
+        Any integer. The same master seed always yields the same family of
+        streams.
+
+    Examples
+    --------
+    >>> streams = RandomStreams(1234)
+    >>> g1 = streams.get("workload/adpcm.dec")
+    >>> g2 = streams.get("workload/adpcm.dec")
+    >>> float(g1.random()) == float(g2.random())
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+
+    def seed_for(self, name: str) -> int:
+        """Derive a 64-bit child seed for the stream called ``name``."""
+        payload = f"{self.master_seed}:{name}".encode("utf-8")
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for the stream called ``name``.
+
+        Each call returns a *new* generator positioned at the start of the
+        stream, so callers that need to continue a stream must hold on to
+        the returned object.
+        """
+        return np.random.default_rng(self.seed_for(name))
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Return a child :class:`RandomStreams` namespaced under ``name``."""
+        return RandomStreams(self.seed_for(name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomStreams(master_seed={self.master_seed})"

@@ -1,0 +1,66 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The experiment harness prints paper-style tables (Tables I-IV) next to the
+measured values. We deliberately avoid any third-party table library: the
+output must be stable enough to diff in regression tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row sequences; ``None`` cells render as ``-`` and
+        floats are formatted with ``float_fmt``.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    materialised = [[_cell(v, float_fmt if isinstance(v, float) else None) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Unit conversions used throughout the package.
+
+The simulator counts time in *cycles*; the aging models work in *seconds*
+and report lifetimes in *years* (as the paper's Tables II-IV do); the
+energy model works in *picojoules*. This module centralises the
+conversions so no magic constants leak into the physics code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Seconds in a Julian year (the convention used by reliability papers).
+SECONDS_PER_YEAR: float = 365.25 * 24.0 * 3600.0
+
+#: Default clock frequency assumed when a config does not specify one.
+#: 400 MHz is representative of the embedded cores that run MediaBench.
+CYCLES_PER_SECOND_DEFAULT: float = 400e6
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float = CYCLES_PER_SECOND_DEFAULT) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    if frequency_hz <= 0:
+        raise ConfigurationError("clock frequency must be positive")
+    return float(cycles) / float(frequency_hz)
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float = CYCLES_PER_SECOND_DEFAULT) -> float:
+    """Convert seconds to a (possibly fractional) cycle count."""
+    if frequency_hz <= 0:
+        raise ConfigurationError("clock frequency must be positive")
+    return float(seconds) * float(frequency_hz)
+
+
+def seconds_to_years(seconds: float) -> float:
+    """Convert seconds to Julian years."""
+    return float(seconds) / SECONDS_PER_YEAR
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert Julian years to seconds."""
+    return float(years) * SECONDS_PER_YEAR
+
+
+def picojoules(value_joules: float) -> float:
+    """Express an energy given in joules as picojoules."""
+    return float(value_joules) * 1e12
+
+
+def joules(value_picojoules: float) -> float:
+    """Express an energy given in picojoules as joules."""
+    return float(value_picojoules) * 1e-12

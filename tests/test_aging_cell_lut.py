@@ -1,0 +1,160 @@
+"""Tests for the characterization framework and the lifetime LUT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aging.cell import CharacterizationFramework, SRAMCellSpec
+from repro.aging.lifetime import (
+    LinearizedLifetimeModel,
+    bank_lifetimes_years,
+    cache_lifetime_years,
+)
+from repro.aging.lut import LifetimeLUT
+from repro.errors import ModelError
+
+
+class TestCharacterization:
+    def test_calibrated_to_paper_reference(self, framework):
+        """Always-on balanced cell: 2.93 years (Section IV-B1)."""
+        assert framework.lifetime_years(0.5, 0.0) == pytest.approx(2.93, rel=1e-6)
+
+    def test_snm_fresh_positive(self, framework):
+        assert framework.snm_fresh > 0.1
+
+    def test_failure_threshold_is_80_percent(self, framework):
+        assert framework.snm_failure_threshold == pytest.approx(
+            0.8 * framework.snm_fresh
+        )
+
+    def test_sleep_extends_lifetime(self, framework):
+        base = framework.lifetime_years(0.5, 0.0)
+        assert framework.lifetime_years(0.5, 0.5) > base
+
+    def test_lifetime_matches_linearized_law(self, framework):
+        """The full SNM+drift pipeline obeys LT = base/(1 - eta*I) exactly
+        (the drift law's time-scaling property)."""
+        eta = framework.nbti.sleep_recovery_efficiency
+        for psleep in (0.1, 0.42, 0.68, 0.95):
+            expected = 2.93 / (1.0 - eta * psleep)
+            assert framework.lifetime_years(0.5, psleep) == pytest.approx(
+                expected, rel=1e-6
+            )
+
+    def test_paper_table4_anchor(self, framework):
+        """32kB / 8 banks: idleness 68% -> 5.98 years in the paper."""
+        assert framework.lifetime_years(0.5, 0.68) == pytest.approx(5.98, abs=0.02)
+
+    def test_balanced_content_is_best_case(self, framework):
+        """p0 = 0.5 maximizes lifetime (Kumar et al.; Section II-B)."""
+        balanced = framework.lifetime_years(0.5, 0.0)
+        assert framework.lifetime_years(0.9, 0.0) < balanced
+        assert framework.lifetime_years(0.1, 0.0) < balanced
+
+    def test_p0_symmetry(self, framework):
+        # Small numerical asymmetry from the butterfly bisection is fine.
+        assert framework.lifetime_years(0.3, 0.0) == pytest.approx(
+            framework.lifetime_years(0.7, 0.0), rel=2e-3
+        )
+
+    def test_device_duties(self, framework):
+        assert framework.device_duties(0.25) == (0.75, 0.25)
+        with pytest.raises(ModelError):
+            framework.device_duties(1.5)
+
+    def test_aging_curve_monotone_decreasing(self, framework):
+        curve = framework.aging_curve(points=7, horizon_years=6.0)
+        assert np.all(np.diff(curve.snm_volts) < 0)
+        assert curve.snm_volts[0] == pytest.approx(framework.snm_fresh, rel=1e-6)
+
+    def test_snm_at_time_zero(self, framework):
+        assert framework.snm_at(0.0) == pytest.approx(framework.snm_fresh, rel=1e-6)
+
+    def test_rejects_insensitive_cell(self):
+        """A cell whose read SNM never reaches -20% must be refused."""
+        # Pathologically weak pull-ups make the butterfly insensitive.
+        from repro.aging.devices import MOSFETParams
+
+        spec = SRAMCellSpec(
+            pull_up=MOSFETParams(k=0.01, vth=0.9),
+            pull_down=MOSFETParams(k=2.6, vth=0.30),
+            access=MOSFETParams(k=1.3, vth=0.30),
+        )
+        with pytest.raises(ModelError):
+            CharacterizationFramework(spec)
+
+
+class TestLifetimeLUT:
+    def test_exact_on_grid_points(self, lut, framework):
+        for psleep in (0.0, float(lut.psleep_grid[10])):
+            assert lut.lifetime_years(0.5, psleep) == pytest.approx(
+                framework.lifetime_years(0.5, psleep), rel=1e-6
+            )
+
+    def test_interpolation_between_grid_points(self, lut, framework):
+        """Bilinear interpolation error stays under 1% mid-cell."""
+        psleep = 0.4125
+        exact = framework.lifetime_years(0.5, psleep)
+        assert lut.lifetime_years(0.5, psleep) == pytest.approx(exact, rel=0.01)
+
+    def test_monotone_in_psleep(self, lut):
+        values = [lut.lifetime_years(0.5, p) for p in np.linspace(0, 0.99, 20)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_clips_extreme_sleep(self, lut):
+        """Psleep = 1.0 (a never-touched bank) returns a finite lifetime."""
+        value = lut.lifetime_years(0.5, 1.0)
+        assert np.isfinite(value)
+        assert value > lut.lifetime_years(0.5, 0.9)
+
+    def test_rejects_out_of_domain(self, lut):
+        with pytest.raises(ModelError):
+            lut.lifetime_years(1.5, 0.0)
+        with pytest.raises(ModelError):
+            lut.lifetime_years(0.5, -0.1)
+
+    def test_rejects_degenerate_grid(self, framework):
+        with pytest.raises(ModelError):
+            LifetimeLUT(framework, p0_points=1)
+
+    def test_default_is_memoised(self):
+        assert LifetimeLUT.default() is LifetimeLUT.default()
+
+
+class TestLinearizedModel:
+    def test_matches_paper_values(self):
+        model = LinearizedLifetimeModel()
+        assert model.lifetime_years(0.0) == pytest.approx(2.93)
+        assert model.lifetime_years(0.68) == pytest.approx(5.98, abs=0.02)
+
+    def test_required_sleep_inverse(self):
+        model = LinearizedLifetimeModel()
+        psleep = model.required_sleep(4.31)
+        assert model.lifetime_years(psleep) == pytest.approx(4.31, rel=1e-9)
+
+    def test_required_sleep_rejects_trivial_target(self):
+        with pytest.raises(ModelError):
+            LinearizedLifetimeModel().required_sleep(1.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            LinearizedLifetimeModel(base_lifetime_years=-1)
+        with pytest.raises(ModelError):
+            LinearizedLifetimeModel(eta=1.5)
+
+
+class TestBankAndCacheLifetime:
+    def test_cache_lifetime_is_worst_bank(self, lut):
+        report = cache_lifetime_years([0.9, 0.1, 0.5, 0.7], lut=lut)
+        lifetimes = bank_lifetimes_years([0.9, 0.1, 0.5, 0.7], lut=lut)
+        assert report.cache_lifetime_years == min(lifetimes)
+        assert report.limiting_bank == 1
+
+    def test_uniform_sleep_all_banks_equal(self, lut):
+        report = cache_lifetime_years([0.4] * 8, lut=lut)
+        assert len(set(report.bank_lifetimes_years)) == 1
+
+    def test_rejects_empty(self, lut):
+        with pytest.raises(ModelError):
+            cache_lifetime_years([], lut=lut)

@@ -1,0 +1,117 @@
+"""Tests for the square-law device models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aging.devices import (
+    MOSFETParams,
+    access_nmos_current,
+    nmos_current,
+    pmos_current,
+)
+from repro.errors import ModelError
+
+NMOS = MOSFETParams(k=2.0, vth=0.3)
+PMOS = MOSFETParams(k=1.0, vth=0.32)
+VDD = 1.1
+
+
+class TestParams:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ModelError):
+            MOSFETParams(k=0.0, vth=0.3)
+
+    def test_rejects_negative_vth(self):
+        with pytest.raises(ModelError):
+            MOSFETParams(k=1.0, vth=-0.1)
+
+    def test_vth_shift_annotation(self):
+        shifted = PMOS.with_vth_shift(0.05)
+        assert shifted.vth == pytest.approx(0.37)
+        assert shifted.k == PMOS.k
+
+    def test_vth_shift_rejects_negative(self):
+        with pytest.raises(ModelError):
+            PMOS.with_vth_shift(-0.01)
+
+
+class TestNMOS:
+    def test_cutoff(self):
+        assert nmos_current(NMOS, 0.2, 0.5) == 0.0
+
+    def test_triode_formula(self):
+        vgs, vds = 1.0, 0.2
+        expected = 2.0 * ((vgs - 0.3) * vds - 0.5 * vds**2)
+        assert nmos_current(NMOS, vgs, vds) == pytest.approx(expected)
+
+    def test_saturation_formula(self):
+        vgs = 1.0
+        expected = 0.5 * 2.0 * (vgs - 0.3) ** 2
+        assert nmos_current(NMOS, vgs, 1.0) == pytest.approx(expected)
+
+    def test_continuous_at_pinchoff(self):
+        vgs = 0.9
+        vov = vgs - 0.3
+        below = nmos_current(NMOS, vgs, vov - 1e-9)
+        above = nmos_current(NMOS, vgs, vov + 1e-9)
+        assert below == pytest.approx(above, abs=1e-6)
+
+    def test_vectorized_over_vds(self):
+        vds = np.linspace(0, 1.1, 50)
+        current = nmos_current(NMOS, 1.0, vds)
+        assert current.shape == vds.shape
+        assert np.all(np.diff(current) >= -1e-12)  # non-decreasing in vds
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.1),
+        st.floats(min_value=0.0, max_value=1.1),
+    )
+    def test_property_nonnegative(self, vgs, vds):
+        assert nmos_current(NMOS, vgs, vds) >= 0.0
+
+    @given(st.floats(min_value=0.31, max_value=1.1))
+    def test_property_monotone_in_vgs(self, vgs):
+        low = nmos_current(NMOS, vgs - 0.005, 1.0)
+        high = nmos_current(NMOS, vgs, 1.0)
+        assert high >= low
+
+
+class TestPMOS:
+    def test_cutoff_when_gate_high(self):
+        assert pmos_current(PMOS, VDD, VDD, 0.5) == 0.0
+
+    def test_mirrors_nmos(self):
+        """PMOS with gate at 0 behaves like an NMOS at vgs = vdd."""
+        pm = pmos_current(PMOS, VDD, 0.0, VDD - 0.4)
+        nm = nmos_current(MOSFETParams(k=1.0, vth=0.32), VDD, 0.4)
+        assert pm == pytest.approx(float(nm))
+
+    def test_decreasing_in_vd(self):
+        vd = np.linspace(0, VDD, 50)
+        current = pmos_current(PMOS, VDD, 0.0, vd)
+        assert np.all(np.diff(current) <= 1e-12)
+
+    def test_weaker_when_aged(self):
+        aged = PMOS.with_vth_shift(0.1)
+        fresh_current = pmos_current(PMOS, VDD, 0.0, 0.5)
+        aged_current = pmos_current(aged, VDD, 0.0, 0.5)
+        assert aged_current < fresh_current
+
+
+class TestAccessNMOS:
+    def test_no_injection_at_high_node(self):
+        assert access_nmos_current(NMOS, VDD, VDD) == 0.0
+        assert access_nmos_current(NMOS, VDD, VDD - 0.29) == 0.0
+
+    def test_saturation_injection_at_low_node(self):
+        expected = 0.5 * 2.0 * (VDD - 0.3) ** 2
+        assert access_nmos_current(NMOS, VDD, 0.0) == pytest.approx(expected)
+
+    def test_decreasing_in_node_voltage(self):
+        vnode = np.linspace(0, VDD, 30)
+        current = access_nmos_current(NMOS, VDD, vnode)
+        assert np.all(np.diff(current) <= 1e-12)

@@ -1,0 +1,151 @@
+"""Tests for the NBTI drift model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aging.nbti import NBTIModel
+from repro.errors import ModelError
+from repro.utils.units import years_to_seconds
+
+MODEL = NBTIModel()
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_prefactor(self):
+        with pytest.raises(ModelError):
+            NBTIModel(prefactor=0.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ModelError):
+            NBTIModel(time_exponent=0.0)
+        with pytest.raises(ModelError):
+            NBTIModel(time_exponent=1.0)
+
+    def test_rejects_non_retentive_drowsy_voltage(self):
+        with pytest.raises(ModelError):
+            NBTIModel(vdd_low=0.3, vth_p=0.32)
+
+    def test_rejects_inverted_rails(self):
+        with pytest.raises(ModelError):
+            NBTIModel(vdd=0.6, vdd_low=0.66)
+
+
+class TestSleepStressFactor:
+    def test_calibrated_near_quarter(self):
+        """The calibrated drowsy state retains ~25% of the aging rate,
+        i.e. eta ~ 0.75 — the value that reproduces the paper's
+        lifetime/idleness relation (see DESIGN.md)."""
+        assert MODEL.sleep_stress_factor == pytest.approx(0.25, abs=0.01)
+        assert MODEL.sleep_recovery_efficiency == pytest.approx(0.75, abs=0.01)
+
+    def test_deeper_retention_voltage_reduces_stress(self):
+        shallow = NBTIModel(vdd_low=0.9)
+        deep = NBTIModel(vdd_low=0.5)
+        assert deep.sleep_stress_factor < shallow.sleep_stress_factor
+
+
+class TestEffectiveDuty:
+    def test_no_sleep_passthrough(self):
+        assert MODEL.effective_duty(0.5, 0.0) == pytest.approx(0.5)
+
+    def test_full_sleep_scales_by_gamma(self):
+        gamma = MODEL.sleep_stress_factor
+        assert MODEL.effective_duty(0.5, 1.0) == pytest.approx(0.5 * gamma)
+
+    def test_linear_in_psleep(self):
+        mid = MODEL.effective_duty(0.5, 0.5)
+        lo = MODEL.effective_duty(0.5, 0.0)
+        hi = MODEL.effective_duty(0.5, 1.0)
+        assert mid == pytest.approx(0.5 * (lo + hi))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            MODEL.effective_duty(1.5)
+        with pytest.raises(ModelError):
+            MODEL.effective_duty(0.5, -0.1)
+
+
+class TestDrift:
+    def test_zero_at_time_zero(self):
+        assert MODEL.delta_vth(0.0, 0.5) == 0.0
+
+    def test_power_law_exponent(self):
+        """64x the time gives 2x the shift (n = 1/6)."""
+        t = years_to_seconds(0.1)
+        one = MODEL.delta_vth(t, 0.5)
+        sixty_four = MODEL.delta_vth(64 * t, 0.5)
+        assert sixty_four == pytest.approx(2.0 * one, rel=1e-9)
+
+    def test_monotone_in_time(self):
+        times = np.array([years_to_seconds(t) for t in np.linspace(0.1, 10, 25)])
+        shifts = MODEL.delta_vth(times, 0.5)
+        assert np.all(np.diff(shifts) > 0)
+
+    def test_monotone_in_duty(self):
+        t = years_to_seconds(1.0)
+        assert MODEL.delta_vth(t, 0.9) > MODEL.delta_vth(t, 0.1)
+
+    def test_sleep_slows_drift(self):
+        t = years_to_seconds(1.0)
+        assert MODEL.delta_vth(t, 0.5, psleep=0.8) < MODEL.delta_vth(t, 0.5)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ModelError):
+            MODEL.delta_vth(-1.0, 0.5)
+
+
+class TestInversion:
+    def test_round_trip(self):
+        t = years_to_seconds(2.93)
+        shift = MODEL.delta_vth(t, 0.5)
+        assert MODEL.time_to_reach(shift, 0.5) == pytest.approx(t, rel=1e-9)
+
+    def test_unstressed_lives_forever(self):
+        assert MODEL.time_to_reach(0.05, 0.0) == float("inf")
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.2),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_property_round_trip(self, shift, duty, psleep):
+        t = MODEL.time_to_reach(shift, duty, psleep)
+        recovered = MODEL.delta_vth(t, duty, psleep)
+        assert recovered == pytest.approx(shift, rel=1e-6)
+
+
+class TestCalibration:
+    def test_prefactor_fit_hits_target(self):
+        calibrated = MODEL.calibrated_prefactor(0.05, 2.93, 0.5)
+        t = calibrated.time_to_reach(0.05, 0.5)
+        assert t == pytest.approx(years_to_seconds(2.93), rel=1e-9)
+
+    def test_rejects_bad_targets(self):
+        with pytest.raises(ModelError):
+            MODEL.calibrated_prefactor(-0.1, 2.93)
+        with pytest.raises(ModelError):
+            MODEL.calibrated_prefactor(0.05, 0.0)
+
+
+class TestLifetimeScaling:
+    """The linearized lifetime law the tables rely on."""
+
+    def test_lifetime_inverse_in_effective_duty(self):
+        shift = 0.05
+        base = MODEL.time_to_reach(shift, 0.5, 0.0)
+        for psleep in (0.2, 0.42, 0.68, 0.95):
+            expected = base / (1.0 - MODEL.sleep_recovery_efficiency * psleep)
+            assert MODEL.time_to_reach(shift, 0.5, psleep) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_paper_anchor_value(self):
+        """Idleness 0.68 at base 2.93y gives the paper's 5.98 years."""
+        shift = 0.05
+        model = MODEL.calibrated_prefactor(shift, 2.93, 0.5)
+        years = model.time_to_reach(shift, 0.5, 0.68) / years_to_seconds(1.0)
+        assert years == pytest.approx(5.98, abs=0.02)

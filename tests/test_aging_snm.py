@@ -1,0 +1,91 @@
+"""Tests for the butterfly-curve read-SNM evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aging.cell import SRAMCellSpec
+from repro.aging.snm import butterfly_curves, read_snm
+from repro.errors import ModelError
+
+SPEC = SRAMCellSpec()
+
+
+class TestButterflyCurves:
+    def test_shapes(self):
+        vin, a, b = butterfly_curves(*SPEC.half_cells(), SPEC.vdd, samples=101)
+        assert vin.shape == a.shape == b.shape == (101,)
+
+    def test_vtcs_monotone_non_increasing(self):
+        _, a, b = butterfly_curves(*SPEC.half_cells(), SPEC.vdd)
+        assert np.all(np.diff(a) <= 1e-9)
+        assert np.all(np.diff(b) <= 1e-9)
+
+    def test_high_output_is_full_rail(self):
+        """With the input at 0 the pull-up holds the node at Vdd."""
+        _, a, _ = butterfly_curves(*SPEC.half_cells(), SPEC.vdd)
+        assert a[0] == pytest.approx(SPEC.vdd, abs=1e-6)
+
+    def test_read_disturb_raises_low_level(self):
+        """Under read, the low output sits above ground (access fights)."""
+        _, a, _ = butterfly_curves(*SPEC.half_cells(), SPEC.vdd)
+        read_low = a[-1]
+        assert 0.02 < read_low < 0.4
+
+    def test_symmetric_cell_gives_identical_vtcs(self):
+        _, a, b = butterfly_curves(*SPEC.half_cells(), SPEC.vdd)
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ModelError):
+            butterfly_curves(*SPEC.half_cells(), SPEC.vdd, samples=4)
+
+    def test_rejects_bad_vdd(self):
+        with pytest.raises(ModelError):
+            butterfly_curves(*SPEC.half_cells(), 0.0)
+
+
+class TestReadSNM:
+    def test_fresh_snm_plausible_for_45nm(self):
+        """A healthy 45nm 6T cell reads ~150-300 mV of SNM at 1.1 V."""
+        snm = read_snm(*SPEC.half_cells(), SPEC.vdd)
+        assert 0.12 < snm < 0.35
+
+    def test_degrades_monotonically_with_symmetric_aging(self):
+        shifts = [0.0, 0.05, 0.1, 0.2, 0.3]
+        snms = [read_snm(*SPEC.half_cells(d, d), SPEC.vdd) for d in shifts]
+        assert all(a > b for a, b in zip(snms, snms[1:]))
+
+    def test_asymmetric_aging_limited_by_worse_lobe(self):
+        """One aged pull-up hurts as much as two (min over eyes)."""
+        both = read_snm(*SPEC.half_cells(0.15, 0.15), SPEC.vdd)
+        one = read_snm(*SPEC.half_cells(0.15, 0.0), SPEC.vdd)
+        assert one == pytest.approx(both, abs=5e-3)
+
+    def test_symmetry_under_device_swap(self):
+        ab = read_snm(*SPEC.half_cells(0.12, 0.03), SPEC.vdd)
+        ba = read_snm(*SPEC.half_cells(0.03, 0.12), SPEC.vdd)
+        assert ab == pytest.approx(ba, abs=2e-3)
+
+    def test_stronger_pulldown_improves_read_snm(self):
+        """Classic cell-ratio effect: a stronger driver widens the eye."""
+        weak = SRAMCellSpec(
+            pull_down=SPEC.pull_down.__class__(k=1.8, vth=0.30)
+        )
+        strong = SRAMCellSpec(
+            pull_down=SPEC.pull_down.__class__(k=3.4, vth=0.30)
+        )
+        snm_weak = read_snm(*weak.half_cells(), weak.vdd)
+        snm_strong = read_snm(*strong.half_cells(), strong.vdd)
+        assert snm_strong > snm_weak
+
+    def test_never_negative(self):
+        snm = read_snm(*SPEC.half_cells(0.9, 0.9), SPEC.vdd)
+        assert snm >= 0.0
+
+    def test_sampling_converged(self):
+        """Doubling the sampling changes the SNM by well under a mV."""
+        coarse = read_snm(*SPEC.half_cells(0.1, 0.1), SPEC.vdd, samples=161)
+        fine = read_snm(*SPEC.half_cells(0.1, 0.1), SPEC.vdd, samples=321)
+        assert coarse == pytest.approx(fine, abs=1.5e-3)

@@ -1,0 +1,106 @@
+"""Tests for the sweep framework and Pareto extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pareto import pareto_front
+from repro.analysis.sweep import sweep
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import ArchitectureConfig
+from repro.errors import ConfigurationError
+from tests.conftest import make_random_trace
+
+
+@pytest.fixture(scope="module")
+def base_and_trace():
+    geometry = CacheGeometry(8 * 1024, 16)
+    base = ArchitectureConfig(
+        geometry, num_banks=4, policy="probing", update_period_cycles=8000
+    )
+    return base, make_random_trace(seed=17, length=1500)
+
+
+class TestSweep:
+    def test_cartesian_product_size(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [2, 4, 8], "policy": ["static", "probing"]}, lut)
+        assert len(result) == 6
+
+    def test_where_filters(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [2, 4], "policy": ["static", "probing"]}, lut)
+        static_only = result.where(policy="static")
+        assert len(static_only) == 2
+        assert all(p.parameters["policy"] == "static" for p in static_only)
+
+    def test_series_sorted(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [8, 2, 4]}, lut)
+        series = result.series("num_banks", "lifetime_years")
+        assert [m for m, _ in series] == [2, 4, 8]
+
+    def test_best_point(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [2, 4, 8]}, lut)
+        best = result.best("lifetime_years")
+        assert best.value("lifetime_years") == max(
+            p.value("lifetime_years") for p in result
+        )
+
+    def test_rejects_unknown_axis(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        with pytest.raises(ConfigurationError):
+            sweep(base, trace, {"volume": [1]}, lut)
+
+    def test_rejects_empty_axes(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        with pytest.raises(ConfigurationError):
+            sweep(base, trace, {}, lut)
+
+    def test_empty_best_rejected(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [4]}, lut).where(num_banks=2)
+        with pytest.raises(ConfigurationError):
+            result.best("lifetime_years")
+
+
+class TestPareto:
+    def test_single_dominant_point(self):
+        points = [(1, 5), (2, 4), (2, 5), (0, 0)]
+        front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+        assert front == [(2, 5)]
+
+    def test_true_frontier(self):
+        points = [(1, 5), (3, 3), (5, 1), (2, 2)]
+        front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+        assert set(front) == {(1, 5), (3, 3), (5, 1)}
+
+    def test_minimization_direction(self):
+        points = [(1, 5), (3, 3), (5, 1)]
+        front = pareto_front(
+            points, [lambda p: p[0], lambda p: p[1]], maximize=[True, False]
+        )
+        assert front == [(5, 1)]
+
+    def test_empty_input(self):
+        assert pareto_front([], [lambda p: p]) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([(1,)], [])
+        with pytest.raises(ConfigurationError):
+            pareto_front([(1,)], [lambda p: p[0]], maximize=[True, False])
+
+    def test_on_sweep_results(self, base_and_trace, lut):
+        """The headline story as a frontier: re-indexed points dominate
+        static ones at equal bank counts."""
+        base, trace = base_and_trace
+        result = sweep(
+            base, trace, {"num_banks": [2, 4, 8], "policy": ["static", "probing"]}, lut
+        )
+        front = pareto_front(
+            list(result),
+            [lambda p: p.value("energy_savings"), lambda p: p.value("lifetime_years")],
+        )
+        assert all(p.parameters["policy"] == "probing" for p in front)

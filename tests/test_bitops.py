@@ -1,0 +1,129 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import (
+    bit_slice,
+    bits_required,
+    concat_bits,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    parity,
+    reverse_bits,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_zero_and_negatives(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    def test_rejects_composites(self):
+        for value in (3, 6, 12, 24, 1023, 1025):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Exact:
+    def test_round_trip(self):
+        for exponent in range(24):
+            assert log2_exact(1 << exponent) == exponent
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ConfigurationError):
+            log2_exact(24)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_property_round_trip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestBitsRequired:
+    def test_typical_breakeven_values(self):
+        # The paper: breakeven of a few tens of cycles -> 5-6 bit counters.
+        assert bits_required(24) == 5
+        assert bits_required(63) == 6
+
+    def test_zero_needs_one_bit(self):
+        assert bits_required(0) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bits_required(-1)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_property_bound(self, value):
+        width = bits_required(value)
+        assert (1 << width) > value >= (1 << (width - 1)) or value == 0
+
+
+class TestMaskAndSlice:
+    def test_mask_values(self):
+        assert mask(0) == 0
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_mask_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            mask(-1)
+
+    def test_bit_slice_verilog_style(self):
+        value = 0b1101_0110
+        assert bit_slice(value, 0, 4) == 0b0110
+        assert bit_slice(value, 4, 4) == 0b1101
+
+    def test_bit_slice_rejects_negative_value(self):
+        with pytest.raises(ConfigurationError):
+            bit_slice(-1, 0, 4)
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_property_slice_matches_shift_and(self, value, low, width):
+        assert bit_slice(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+
+class TestConcatBits:
+    def test_example(self):
+        assert concat_bits(0b10, 2, 0b011, 3) == 0b10011
+
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_property_split_round_trip(self, high, low):
+        combined = concat_bits(high, 10, low, 12)
+        assert bit_slice(combined, 12, 10) == high
+        assert bit_slice(combined, 0, 12) == low
+
+
+class TestReverseBits:
+    def test_examples(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+        assert reverse_bits(0b1, 1) == 0b1
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_property_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value
+
+
+class TestParity:
+    def test_examples(self):
+        assert parity(0) == 0
+        assert parity(0b1011) == 1
+        assert parity(0b11) == 0
+
+    @given(st.integers(min_value=0, max_value=2**30), st.integers(min_value=0, max_value=29))
+    def test_property_flip_one_bit(self, value, bit):
+        assert parity(value ^ (1 << bit)) == 1 - parity(value)

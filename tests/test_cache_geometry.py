@@ -1,0 +1,89 @@
+"""Tests for cache geometry and address decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_paper_configurations(self):
+        for size_kb in (8, 16, 32):
+            for line in (16, 32):
+                geometry = CacheGeometry(size_kb * 1024, line)
+                assert geometry.num_lines == size_kb * 1024 // line
+
+    def test_rejects_non_power_sizes(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(3000, 16)
+        with pytest.raises(GeometryError):
+            CacheGeometry(1024, 24)
+        with pytest.raises(GeometryError):
+            CacheGeometry(1024, 16, ways=3)
+
+    def test_rejects_line_larger_than_cache(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(16, 32)
+
+    def test_rejects_excess_associativity(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(64, 16, ways=8)
+
+
+class TestDerived:
+    def test_paper_reference_16k(self):
+        geometry = CacheGeometry(16 * 1024, 16)
+        assert geometry.num_lines == 1024
+        assert geometry.num_sets == 1024
+        assert geometry.index_bits == 10
+        assert geometry.offset_bits == 4
+
+    def test_associativity_reduces_sets(self):
+        geometry = CacheGeometry(16 * 1024, 16, ways=4)
+        assert geometry.num_sets == 256
+        assert geometry.index_bits == 8
+
+    def test_larger_lines_reduce_index_bits(self):
+        """Table III's geometry effect: doubling the line halves the sets."""
+        ls16 = CacheGeometry(16 * 1024, 16)
+        ls32 = CacheGeometry(16 * 1024, 32)
+        assert ls32.index_bits == ls16.index_bits - 1
+
+
+class TestSplit:
+    def test_example(self):
+        geometry = CacheGeometry(1024, 16)  # 64 lines, 6 index bits
+        tag, index, offset = geometry.split(0x12345)
+        assert offset == 0x5
+        assert index == (0x12345 >> 4) & 0x3F
+        assert tag == 0x12345 >> 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(1024, 16).split(-1)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_round_trip(self, address):
+        geometry = CacheGeometry(8 * 1024, 32)
+        tag, index, offset = geometry.split(address)
+        assert geometry.address_for(tag, index, offset) == address
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_line_address_clears_offset(self, address):
+        geometry = CacheGeometry(8 * 1024, 32)
+        line = geometry.line_address(address)
+        assert line % 32 == 0
+        assert geometry.index_of(line) == geometry.index_of(address)
+
+    def test_address_for_validates(self):
+        geometry = CacheGeometry(1024, 16)
+        with pytest.raises(GeometryError):
+            geometry.address_for(0, geometry.num_sets, 0)
+        with pytest.raises(GeometryError):
+            geometry.address_for(0, 0, 16)
+        with pytest.raises(GeometryError):
+            geometry.address_for(-1, 0, 0)

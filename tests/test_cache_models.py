@@ -1,0 +1,193 @@
+"""Tests for the direct-mapped, set-associative and banked cache models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.banked import BankedCache
+from repro.cache.directmapped import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import AccessOutcome
+from repro.errors import GeometryError
+from repro.hw.remap import ProbingRemapper
+
+
+class TestDirectMapped:
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 16))
+        assert cache.access(0x100) is AccessOutcome.MISS
+        assert cache.access(0x100) is AccessOutcome.HIT
+
+    def test_conflict_eviction(self):
+        geometry = CacheGeometry(1024, 16)  # 64 lines
+        cache = DirectMappedCache(geometry)
+        a = 0x000
+        b = a + geometry.size_bytes  # same index, different tag
+        cache.access(a)
+        assert cache.access(b) is AccessOutcome.MISS
+        assert cache.access(a) is AccessOutcome.MISS  # evicted by b
+
+    def test_same_line_different_offset_hits(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 16))
+        cache.access(0x100)
+        assert cache.access(0x10F) is AccessOutcome.HIT
+
+    def test_flush_invalidates(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 16))
+        cache.access(0x100)
+        cache.access(0x200)
+        assert cache.flush() == 2
+        assert cache.access(0x100) is AccessOutcome.MISS
+        assert cache.stats.flushes == 1
+
+    def test_probe_does_not_allocate(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 16))
+        assert not cache.probe(0x100)
+        cache.access(0x100)
+        assert cache.probe(0x100)
+        assert cache.stats.accesses == 1
+
+    def test_valid_lines_tracks_distinct_indices(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 16))
+        for i in range(10):
+            cache.access(i * 16)
+        assert cache.valid_lines == 10
+
+    def test_rejects_associative_geometry(self):
+        with pytest.raises(GeometryError):
+            DirectMappedCache(CacheGeometry(1024, 16, ways=2))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=300))
+    def test_property_matches_dict_model(self, addresses):
+        """The cache must agree with an obvious dict-based model."""
+        geometry = CacheGeometry(512, 16)
+        cache = DirectMappedCache(geometry)
+        model: dict[int, int] = {}
+        for address in addresses:
+            tag, index, _ = geometry.split(address)
+            expected = AccessOutcome.HIT if model.get(index) == tag else AccessOutcome.MISS
+            model[index] = tag
+            assert cache.access(address) is expected
+
+
+class TestSetAssociative:
+    def test_ways_prevent_conflict(self):
+        geometry = CacheGeometry(1024, 16, ways=2)
+        cache = SetAssociativeCache(geometry)
+        a, b = 0x000, 0x400
+        cache.access(a)
+        cache.access(b)
+        assert cache.access(a) is AccessOutcome.HIT
+        assert cache.access(b) is AccessOutcome.HIT
+
+    def test_lru_eviction_order(self):
+        geometry = CacheGeometry(64, 16, ways=2)  # 2 sets
+        cache = SetAssociativeCache(geometry)
+        a, b, c = 0x00, 0x40, 0x80  # same set (index strides by 2 lines)
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        cache.access(c)  # evicts b (LRU)
+        assert cache.access(a) is AccessOutcome.HIT
+        assert cache.access(b) is AccessOutcome.MISS
+
+    def test_direct_mapped_equivalence(self):
+        """ways=1 set-associative must match the direct-mapped model."""
+        geometry = CacheGeometry(512, 16)
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 2**16, size=500)
+        dm = DirectMappedCache(geometry)
+        sa = SetAssociativeCache(geometry)
+        for address in addresses:
+            assert dm.access(int(address)) is sa.access(int(address))
+
+    def test_flush(self):
+        cache = SetAssociativeCache(CacheGeometry(1024, 16, ways=4))
+        cache.access(0x0)
+        cache.access(0x1000)
+        assert cache.flush() == 2
+        assert cache.valid_lines == 0
+
+
+class TestBankedCache:
+    def test_routing_matches_decoder(self):
+        geometry = CacheGeometry(4096, 16)  # 256 lines
+        cache = BankedCache(geometry, 4)
+        _, decoded = cache.access(70 * 16)
+        assert decoded.logical_bank == 1
+        assert decoded.physical_bank == 1
+        assert cache.stats.bank_accesses == [0, 1, 0, 0]
+
+    def test_hit_miss_matches_monolithic_when_static(self):
+        """Without remapping, banking must not change hit/miss behaviour
+        (the paper: 'no degradation of miss rate is experienced')."""
+        geometry = CacheGeometry(2048, 16)
+        rng = np.random.default_rng(11)
+        addresses = (rng.integers(0, 1024, size=800) * 16).astype(int)
+        banked = BankedCache(geometry, 8)
+        mono = DirectMappedCache(geometry)
+        for address in addresses:
+            outcome, _ = banked.access(int(address))
+            assert outcome is mono.access(int(address))
+
+    def test_remapped_accesses_still_hit_within_epoch(self):
+        geometry = CacheGeometry(2048, 16)
+        cache = BankedCache(geometry, 4, ProbingRemapper(2))
+        cache.update_mapping()
+        assert cache.access(0x500)[0] is AccessOutcome.MISS
+        assert cache.access(0x500)[0] is AccessOutcome.HIT
+
+    def test_update_mapping_flushes(self):
+        geometry = CacheGeometry(2048, 16)
+        cache = BankedCache(geometry, 4, ProbingRemapper(2))
+        cache.access(0x500)
+        dropped = cache.update_mapping()
+        assert dropped == 1
+        assert cache.access(0x500)[0] is AccessOutcome.MISS
+
+    def test_remap_moves_physical_bank(self):
+        geometry = CacheGeometry(2048, 16)
+        cache = BankedCache(geometry, 4, ProbingRemapper(2))
+        bank_before = cache.route(0x500).physical_bank
+        cache.update_mapping()
+        bank_after = cache.route(0x500).physical_bank
+        assert bank_after == (bank_before + 1) % 4
+
+    def test_valid_lines_aggregates_banks(self):
+        geometry = CacheGeometry(2048, 16)
+        cache = BankedCache(geometry, 4)
+        for i in range(12):
+            cache.access(i * 16)
+        assert cache.valid_lines == 12
+
+    def test_rejects_more_banks_than_sets(self):
+        with pytest.raises(GeometryError):
+            BankedCache(CacheGeometry(64, 16), 8)
+
+    def test_supports_set_associative_banks(self):
+        geometry = CacheGeometry(2048, 16, ways=2)
+        cache = BankedCache(geometry, 4)
+        assert cache.access(0x0)[0] is AccessOutcome.MISS
+        assert cache.access(0x0)[0] is AccessOutcome.HIT
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**18), min_size=1, max_size=200),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_property_banked_equals_monolithic_modulo_remap(self, addresses, updates):
+        """With any fixed remap state, hit/miss equals a monolithic cache
+        that was flushed at the same points."""
+        geometry = CacheGeometry(1024, 16)
+        banked = BankedCache(geometry, 4, ProbingRemapper(2))
+        mono = DirectMappedCache(geometry)
+        for _ in range(updates):
+            banked.update_mapping()
+            mono.flush()
+        for address in addresses:
+            assert banked.access(address)[0] is mono.access(address)

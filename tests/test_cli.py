@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cell_command(self, capsys):
+        assert main(["cell"]) == 0
+        out = capsys.readouterr().out
+        assert "fresh read SNM" in out
+        assert "2.93 years" in out
+
+    def test_cell_with_sleep(self, capsys):
+        assert main(["cell", "--psleep", "0.68"]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime: 5.9" in out
+
+    def test_arch_command(self, capsys):
+        assert main(["arch", "--size", "16", "--banks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "breakeven time" in out
+        assert "5 bits" in out or "6 bits" in out
+
+    def test_policies_command(self, capsys):
+        assert main(["policies", "--banks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "probing" in out
+        assert "scrambling" in out
+
+    @pytest.mark.slow
+    def test_table1_quick(self, capsys):
+        assert main(["--quick", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "vs paper" in out
+
+    @pytest.mark.slow
+    def test_table4_quick_with_compare(self, capsys):
+        assert main(["--quick", "table4", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Idle_M8" in out
+
+    @pytest.mark.slow
+    def test_headline_quick(self, capsys):
+        assert main(["--quick", "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "power management only" in out

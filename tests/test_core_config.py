@@ -1,0 +1,102 @@
+"""Tests for ArchitectureConfig and the structural summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.architecture import summarize
+from repro.core.config import ArchitectureConfig
+from repro.errors import ConfigurationError
+
+GEOMETRY = CacheGeometry(16 * 1024, 16)
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        config = ArchitectureConfig(GEOMETRY)
+        assert config.num_banks == 4
+        assert config.policy == "static"
+        assert config.power_managed
+
+    def test_rejects_non_power_banks(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(GEOMETRY, num_banks=3)
+
+    def test_rejects_excess_banks(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(CacheGeometry(64, 16), num_banks=8)
+
+    def test_rejects_dynamic_indexing_on_single_bank(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(GEOMETRY, num_banks=1, policy="probing")
+
+    def test_rejects_bad_periods(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(GEOMETRY, update_period_cycles=0)
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(GEOMETRY, breakeven_override=0)
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(GEOMETRY, frequency_hz=0)
+
+
+class TestFactories:
+    def test_policy_factory_fresh_state(self):
+        config = ArchitectureConfig(GEOMETRY, policy="probing", update_period_cycles=10)
+        a = config.make_policy()
+        a.update()
+        b = config.make_policy()
+        assert b.updates_applied == 0
+
+    def test_update_schedule_inactive_for_static(self):
+        config = ArchitectureConfig(GEOMETRY, policy="static", update_period_cycles=None)
+        assert config.make_update_schedule().period_cycles is None
+
+    def test_breakeven_override(self):
+        config = ArchitectureConfig(GEOMETRY, breakeven_override=33)
+        assert config.breakeven() == 33
+
+    def test_breakeven_computed(self):
+        config = ArchitectureConfig(GEOMETRY)
+        assert 4 <= config.breakeven() <= 63
+
+    def test_energy_models(self):
+        config = ArchitectureConfig(GEOMETRY, num_banks=4)
+        assert config.make_energy_model().num_banks == 4
+        assert config.make_baseline_energy_model().num_banks == 1
+
+
+class TestVariants:
+    def test_with_policy(self):
+        config = ArchitectureConfig(GEOMETRY, policy="static")
+        assert config.with_policy("probing").policy == "probing"
+        assert config.policy == "static"  # original untouched
+
+    def test_monolithic_variant(self):
+        config = ArchitectureConfig(GEOMETRY, num_banks=8, policy="probing",
+                                    update_period_cycles=100)
+        mono = config.monolithic()
+        assert mono.num_banks == 1
+        assert not mono.power_managed
+        assert mono.update_period_cycles is None
+        assert mono.geometry == config.geometry
+
+
+class TestSummary:
+    def test_paper_reference_configuration(self):
+        config = ArchitectureConfig(GEOMETRY, num_banks=4)
+        summary = summarize(config)
+        assert summary.index_bits == 10
+        assert summary.bank_bits == 2
+        assert summary.lines_per_bank == 256
+        assert summary.tag_bits_per_line == 19
+        # Section III-A1: 5- or 6-bit counters suffice.
+        assert summary.counter_width_bits in (5, 6)
+        assert 0.0 < summary.wiring_energy_overhead < 0.25
+
+    def test_wiring_overhead_grows_with_banks(self):
+        overhead = [
+            summarize(ArchitectureConfig(GEOMETRY, num_banks=m)).wiring_energy_overhead
+            for m in (2, 4, 8, 16)
+        ]
+        assert overhead == sorted(overhead)

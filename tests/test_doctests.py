@@ -1,0 +1,48 @@
+"""Run the doctests embedded in the library's docstrings.
+
+The examples in docstrings are part of the public documentation; this
+keeps them honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.pareto
+import repro.cache.directmapped
+import repro.cache.geometry
+import repro.cache.setassoc
+import repro.hw.counter
+import repro.hw.decoder
+import repro.hw.lfsr
+import repro.hw.onehot
+import repro.indexing.policies
+import repro.indexing.update
+import repro.utils.bitops
+import repro.utils.rng
+import repro.utils.tables
+
+MODULES = [
+    repro.utils.bitops,
+    repro.utils.rng,
+    repro.utils.tables,
+    repro.hw.lfsr,
+    repro.hw.onehot,
+    repro.hw.counter,
+    repro.hw.decoder,
+    repro.cache.geometry,
+    repro.cache.directmapped,
+    repro.cache.setassoc,
+    repro.indexing.policies,
+    repro.indexing.update,
+    repro.analysis.pareto,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests_pass(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"

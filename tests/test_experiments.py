@@ -1,0 +1,178 @@
+"""Integration tests: the experiment harness reproduces the paper.
+
+These run the quick settings (6 benchmarks, short traces) through every
+table and check both mechanics (layout, caching) and science (the
+published values are matched within tolerances that the full-length runs
+comfortably beat).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments.compare import (
+    compare_table1,
+    compare_table2,
+    compare_table3,
+    compare_table4,
+    render_comparison,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.suite import ExperimentSettings
+from repro.experiments.tables import headline, table1, table2, table3, table4
+
+
+@pytest.fixture(scope="module")
+def runner(lut_module):
+    settings = ExperimentSettings().quick()
+    return ExperimentRunner(settings=settings, lut=lut_module)
+
+
+@pytest.fixture(scope="module")
+def lut_module():
+    from repro.aging.lut import LifetimeLUT
+
+    return LifetimeLUT.default()
+
+
+class TestSettings:
+    def test_quick_is_subset(self):
+        full = ExperimentSettings()
+        quick = full.quick()
+        assert set(quick.benchmarks) <= set(full.benchmarks)
+        assert quick.horizon < full.horizon
+
+    def test_update_period(self):
+        settings = ExperimentSettings(num_windows=100, window_cycles=1000, num_updates=10)
+        assert settings.update_period == 10_000
+
+    def test_rejects_too_few_updates(self):
+        with pytest.raises(Exception):
+            ExperimentSettings(num_updates=4)
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(Exception):
+            ExperimentSettings(benchmarks=("nosuch",))
+
+
+class TestRunnerMechanics:
+    def test_results_are_memoized(self, runner):
+        a = runner.static_run("sha", 16384, 16, 4)
+        b = runner.static_run("sha", 16384, 16, 4)
+        assert a is b
+
+    def test_policies_give_distinct_results(self, runner):
+        static = runner.static_run("sha", 16384, 16, 4)
+        dynamic = runner.reindexed_run("sha", 16384, 16, 4)
+        assert static is not dynamic
+        assert dynamic.lifetime_years > static.lifetime_years
+
+    def test_clear_drops_cache(self, runner):
+        a = runner.static_run("sha", 16384, 16, 4)
+        runner.clear()
+        b = runner.static_run("sha", 16384, 16, 4)
+        assert a is not b
+        assert a.lifetime_years == pytest.approx(b.lifetime_years)
+
+
+class TestTable1:
+    def test_layout(self, runner):
+        result = table1(runner)
+        assert result.headers[0] == "benchmark"
+        assert len(result.rows) == len(runner.settings.benchmarks) + 1
+        assert result.rows[-1][0] == "Average"
+
+    def test_idleness_matches_paper(self, runner):
+        """Per-bank idleness within 8 points of Table I on quick traces."""
+        cells, summary = compare_table1(table1(runner))
+        assert summary["count"] == 4 * len(runner.settings.benchmarks)
+        assert summary["mean_abs_delta"] < 4.0
+        assert summary["max_abs_delta"] < 10.0
+
+    def test_render_contains_benchmarks(self, runner):
+        text = table1(runner).render()
+        assert "adpcm.dec" in text
+        assert "Table I" in text
+
+    def test_row_lookup(self, runner):
+        row = table1(runner).row_for("adpcm.dec")
+        assert row[0] == "adpcm.dec"
+        with pytest.raises(KeyError):
+            table1(runner).row_for("nope")
+
+
+class TestTable2:
+    def test_shape_and_averages(self, runner):
+        result = table2(runner)
+        assert len(result.headers) == 10
+        average = result.row_for("Average")
+        # LT with re-indexing beats LT0 at every size, on average.
+        assert average[3] > average[2]
+        assert average[6] > average[5]
+        assert average[9] > average[8]
+
+    def test_energy_savings_grow_with_size(self, runner):
+        average = table2(runner).row_for("Average")
+        assert average[1] < average[4] < average[7]
+
+    def test_against_paper(self, runner):
+        cells, summary = compare_table2(table2(runner))
+        # Lifetime cells agree to ~0.3y; Esav to a few points; the known
+        # divergence is the 32kB Esav column (documented in EXPERIMENTS.md).
+        assert summary["mean_abs_rel"] < 0.10
+
+    def test_lt0_never_below_cell_lifetime(self, runner):
+        result = table2(runner)
+        for row in result.rows:
+            for column in (2, 5, 8):
+                assert row[column] >= 2.93 - 1e-6
+
+
+class TestTable3:
+    def test_esav_drops_with_larger_lines(self, runner):
+        average = table3(runner).row_for("Average")
+        assert average[3] < average[1]
+
+    def test_lifetime_roughly_line_size_independent(self, runner):
+        average = table3(runner).row_for("Average")
+        assert average[4] == pytest.approx(average[2], abs=0.25)
+
+    def test_against_paper(self, runner):
+        cells, summary = compare_table3(table3(runner))
+        assert summary["mean_abs_rel"] < 0.10
+
+
+class TestTable4:
+    def test_idleness_and_lifetime_grow_with_banks(self, runner):
+        result = table4(runner)
+        for row in result.rows:
+            assert row[1] < row[3] < row[5]  # idleness
+            assert row[2] < row[4] < row[6]  # lifetime
+
+    def test_against_paper(self, runner):
+        cells, summary = compare_table4(table4(runner))
+        assert summary["mean_abs_rel"] < 0.12
+
+    def test_m8_reaches_about_2x(self, runner):
+        """'for M = 8 the lifetime of the cache is increased by about 2x'."""
+        result = table4(runner)
+        for row in result.rows:
+            assert row[6] / paper_data.CELL_LIFETIME_YEARS > 1.7
+
+
+class TestHeadline:
+    def test_claims(self, runner):
+        result = headline(runner)
+        measured = {row[0].split(" (")[0]: row[1] for row in result.rows}
+        pm_only = measured["power management only"]
+        assert 5.0 < pm_only < 15.0  # the paper's 'mere 9%'
+        assert measured[[k for k in measured if k.startswith("best")][0]] > 60.0
+
+
+class TestComparisonRendering:
+    def test_render(self, runner):
+        cells, summary = compare_table1(table1(runner))
+        text = render_comparison(cells, summary, "t1")
+        assert "mean|Δ|" in text
+        assert "t1" in text

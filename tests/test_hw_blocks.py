@@ -1,0 +1,225 @@
+"""Tests for one-hot encoding, saturating counters, remappers, decoder D."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.counter import SaturatingCounter
+from repro.hw.decoder import BankDecoder
+from repro.hw.onehot import one_hot_decode, one_hot_encode
+from repro.hw.remap import ProbingRemapper, ScramblingRemapper, StaticRemapper
+
+
+class TestOneHot:
+    def test_paper_encodings(self):
+        """Bank 0 -> 00..01, bank M-1 -> 10..00 (Section III-A1)."""
+        assert one_hot_encode(0, 4) == 0b0001
+        assert one_hot_encode(3, 4) == 0b1000
+
+    def test_round_trip(self):
+        for m in (2, 4, 8, 16):
+            for bank in range(m):
+                assert one_hot_decode(one_hot_encode(bank, m), m) == bank
+
+    def test_rejects_bad_words(self):
+        with pytest.raises(ConfigurationError):
+            one_hot_decode(0, 4)
+        with pytest.raises(ConfigurationError):
+            one_hot_decode(0b0101, 4)
+        with pytest.raises(ConfigurationError):
+            one_hot_decode(0b10000, 4)
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ConfigurationError):
+            one_hot_encode(4, 4)
+        with pytest.raises(ConfigurationError):
+            one_hot_encode(-1, 4)
+
+    def test_rejects_non_power_bank_count(self):
+        with pytest.raises(ConfigurationError):
+            one_hot_encode(0, 3)
+
+
+class TestSaturatingCounter:
+    def test_terminal_count_after_limit_ticks(self):
+        counter = SaturatingCounter(3)
+        assert [counter.tick() for _ in range(5)] == [False, False, True, True, True]
+
+    def test_reset_clears(self):
+        counter = SaturatingCounter(2)
+        counter.tick()
+        counter.tick()
+        assert counter.terminal_count
+        counter.reset()
+        assert not counter.terminal_count
+        assert counter.value == 0
+
+    def test_advance_saturates(self):
+        counter = SaturatingCounter(10)
+        counter.advance(100)
+        assert counter.value == 10
+
+    def test_advance_matches_ticks(self):
+        a = SaturatingCounter(7)
+        b = SaturatingCounter(7)
+        for _ in range(5):
+            a.tick()
+        b.advance(5)
+        assert a.value == b.value
+
+    def test_width_matches_paper_range(self):
+        assert SaturatingCounter(24).width == 5
+        assert SaturatingCounter(63).width == 6
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(5).advance(-1)
+
+
+class TestStaticRemapper:
+    def test_identity(self):
+        remapper = StaticRemapper(3)
+        for bank in range(8):
+            assert remapper.map(bank) == bank
+
+    def test_update_is_noop(self):
+        remapper = StaticRemapper(2)
+        remapper.update()
+        assert remapper.map(1) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            StaticRemapper(2).map(4)
+
+
+class TestProbingRemapper:
+    def test_rotation_sequence(self):
+        """Example 1 of the paper: bank 1 -> 2 -> 3 -> 0 across updates."""
+        remapper = ProbingRemapper(2)
+        sequence = []
+        for _ in range(4):
+            sequence.append(remapper.map(1))
+            remapper.update()
+        assert sequence == [1, 2, 3, 0]
+
+    def test_modulo_wraparound(self):
+        remapper = ProbingRemapper(2)
+        for _ in range(4):
+            remapper.update()
+        assert remapper.counter == 0
+
+    def test_is_bijection_after_any_updates(self):
+        remapper = ProbingRemapper(3)
+        for _ in range(5):
+            remapper.update()
+        images = {remapper.map(b) for b in range(8)}
+        assert images == set(range(8))
+
+    def test_rejects_bad_increment(self):
+        with pytest.raises(ConfigurationError):
+            ProbingRemapper(2, increment=0)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=40))
+    def test_property_closed_form(self, p_bits, updates):
+        """After R updates bank i maps to (i + R) mod M."""
+        remapper = ProbingRemapper(p_bits)
+        for _ in range(updates):
+            remapper.update()
+        m = 1 << p_bits
+        for bank in range(m):
+            assert remapper.map(bank) == (bank + updates) % m
+
+
+class TestScramblingRemapper:
+    def test_initial_mapping_is_identity(self):
+        remapper = ScramblingRemapper(2)
+        assert [remapper.map(b) for b in range(4)] == [0, 1, 2, 3]
+
+    def test_is_bijection_after_updates(self):
+        remapper = ScramblingRemapper(3)
+        for _ in range(17):
+            remapper.update()
+            images = {remapper.map(b) for b in range(8)}
+            assert images == set(range(8))
+
+    def test_xor_involution(self):
+        """Applying the same scrambling word twice returns the input."""
+        remapper = ScramblingRemapper(4)
+        remapper.update()
+        for bank in range(16):
+            assert remapper.map(remapper.map(bank)) == bank
+
+    def test_rejects_narrow_lfsr(self):
+        with pytest.raises(ConfigurationError):
+            ScramblingRemapper(8, lfsr_width=4)
+
+    def test_deterministic_for_seed(self):
+        a = ScramblingRemapper(2, seed=77)
+        b = ScramblingRemapper(2, seed=77)
+        for _ in range(10):
+            a.update()
+            b.update()
+            assert a.word == b.word
+
+
+class TestBankDecoder:
+    def test_paper_example_bit_level(self):
+        """N=256 lines, M=4 banks: address 70 = bank 1, line 6."""
+        decoder = BankDecoder(256, 4)
+        decoded = decoder.decode(70)
+        assert decoded.logical_bank == 70 // 64 == 1
+        assert decoded.line_in_bank == 70 % 64
+        assert decoded.physical_bank == 1
+        assert decoded.select_word == 0b0010
+
+    def test_probing_example_rotation(self):
+        decoder = BankDecoder(256, 4, ProbingRemapper(2))
+        banks = []
+        for _ in range(4):
+            banks.append(decoder.decode(70).physical_bank)
+            decoder.remapper.update()
+        assert banks == [1, 2, 3, 0]
+
+    def test_line_in_bank_unchanged_by_remap(self):
+        """Re-indexing only permutes banks; the row never changes."""
+        decoder = BankDecoder(256, 4, ProbingRemapper(2))
+        before = decoder.decode(70).line_in_bank
+        decoder.remapper.update()
+        assert decoder.decode(70).line_in_bank == before
+
+    def test_physical_index_bijective_per_epoch(self):
+        decoder = BankDecoder(64, 8, ScramblingRemapper(3))
+        for _ in range(5):
+            decoder.remapper.update()
+            images = {decoder.physical_index(i) for i in range(64)}
+            assert images == set(range(64))
+
+    def test_lines_per_bank(self):
+        assert BankDecoder(1024, 4).lines_per_bank == 256
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            BankDecoder(100, 4)  # lines not a power of two
+        with pytest.raises(ConfigurationError):
+            BankDecoder(64, 3)  # banks not a power of two
+        with pytest.raises(ConfigurationError):
+            BankDecoder(4, 8)  # more banks than lines
+        with pytest.raises(ConfigurationError):
+            BankDecoder(64, 4, ProbingRemapper(3))  # width mismatch
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ConfigurationError):
+            BankDecoder(64, 4).decode(64)
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_property_split_reassembles(self, index):
+        decoder = BankDecoder(1024, 8)
+        decoded = decoder.decode(index)
+        assert (decoded.logical_bank << 7) | decoded.line_in_bank == index

@@ -1,0 +1,115 @@
+"""Tests for the Galois LFSR (the Scrambling RNG)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.lfsr import MAXIMAL_TAPS, GaloisLFSR
+
+
+class TestConstruction:
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(1)
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(25)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8, seed=0)
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8, seed=256)  # 0 after masking to 8 bits
+
+    def test_seed_masked_to_width(self):
+        lfsr = GaloisLFSR(4, seed=0x13)
+        assert lfsr.state == 0x3
+
+
+class TestMaximalLength:
+    @pytest.mark.parametrize("width", list(range(2, 13)))
+    def test_full_period(self, width):
+        """Every supported small width visits all 2**w - 1 non-zero states."""
+        lfsr = GaloisLFSR(width, seed=1)
+        states = set()
+        for _ in range(lfsr.period):
+            states.add(lfsr.step())
+        assert len(states) == lfsr.period
+        assert 0 not in states
+
+    @pytest.mark.parametrize("width", [16, 20, 24])
+    def test_no_short_cycle(self, width):
+        """Large widths: the state must not recur within a long prefix."""
+        lfsr = GaloisLFSR(width, seed=0xACE1)
+        seen = set()
+        for _ in range(50_000):
+            state = lfsr.step()
+            assert state not in seen
+            seen.add(state)
+
+    def test_period_property(self):
+        assert GaloisLFSR(10).period == 1023
+
+
+class TestStepAndPeek:
+    def test_peek_does_not_advance(self):
+        lfsr = GaloisLFSR(8, seed=5)
+        before = lfsr.peek()
+        assert lfsr.peek() == before
+        after = lfsr.step()
+        assert after == lfsr.peek()
+
+    def test_sequence_length(self):
+        assert len(GaloisLFSR(8).sequence(17)) == 17
+
+    def test_sequence_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8).sequence(-1)
+
+    def test_deterministic(self):
+        a = GaloisLFSR(16, seed=0xBEEF).sequence(100)
+        b = GaloisLFSR(16, seed=0xBEEF).sequence(100)
+        assert a == b
+
+
+class TestLowBits:
+    def test_range(self):
+        lfsr = GaloisLFSR(16)
+        for _ in range(100):
+            lfsr.step()
+            assert 0 <= lfsr.low_bits(3) < 8
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8).low_bits(9)
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8).low_bits(-1)
+
+    @given(st.integers(min_value=1, max_value=2**16 - 1))
+    def test_property_low_bits_match_state(self, seed):
+        lfsr = GaloisLFSR(16, seed=seed)
+        lfsr.step()
+        assert lfsr.low_bits(4) == lfsr.state & 0xF
+
+
+class TestUniformity:
+    def test_low_bits_balanced_over_full_period(self):
+        """Over the whole period each p-bit value appears ~N/M times.
+
+        This is the property Section IV-B2 relies on: the scrambling
+        error vanishes as the LFSR covers its period.
+        """
+        lfsr = GaloisLFSR(12, seed=1)
+        counts = [0, 0, 0, 0]
+        for _ in range(lfsr.period):
+            lfsr.step()
+            counts[lfsr.low_bits(2)] += 1
+        ideal = lfsr.period / 4
+        for count in counts:
+            assert abs(count - ideal) <= 1
+
+    def test_all_taps_supported_widths_construct(self):
+        for width in MAXIMAL_TAPS:
+            GaloisLFSR(width)

@@ -1,0 +1,122 @@
+"""Internal-consistency checks of the transcribed paper data.
+
+The tables in :mod:`repro.experiments.paper_data` were typed in from the
+paper; these tests catch transcription slips by checking the relations
+the paper itself states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.trace.mediabench import BENCHMARK_NAMES, PROFILES
+
+
+class TestTable1:
+    def test_all_benchmarks_present(self):
+        assert set(paper_data.TABLE1) == set(BENCHMARK_NAMES)
+
+    def test_overall_average_matches_published(self):
+        """The Average cell of Table I is 41.71%."""
+        per_bench = [sum(row) / 4 for row in paper_data.TABLE1.values()]
+        overall = sum(per_bench) / len(per_bench)
+        assert overall == pytest.approx(paper_data.TABLE1_AVERAGE, abs=0.02)
+
+    def test_row_averages_match_examples_in_text(self):
+        """The paper quotes adpcm.dec's average as 'more than 51%'."""
+        adpcm = paper_data.TABLE1["adpcm.dec"]
+        assert sum(adpcm) / 4 == pytest.approx(51.54, abs=0.01)
+
+    def test_profiles_mirror_table1(self):
+        for name, row in paper_data.TABLE1.items():
+            profile = PROFILES[name]
+            for published, target in zip(row, profile.bank_idleness):
+                assert target == pytest.approx(published / 100.0, abs=1e-9)
+
+
+class TestTable2:
+    def test_all_benchmarks_and_sizes(self):
+        assert set(paper_data.TABLE2) == set(BENCHMARK_NAMES)
+        for rows in paper_data.TABLE2.values():
+            assert set(rows) == {8192, 16384, 32768}
+
+    def test_averages_match_published_row(self):
+        for size, column in ((8192, 0), (16384, 0), (32768, 0)):
+            esavs = [paper_data.TABLE2[b][size][column] for b in BENCHMARK_NAMES]
+            published = paper_data.TABLE2_AVERAGE[size][column]
+            assert sum(esavs) / len(esavs) == pytest.approx(published, abs=0.06)
+
+    def test_lifetime_averages_match_published_row(self):
+        for size in (8192, 16384, 32768):
+            for column in (1, 2):
+                values = [paper_data.TABLE2[b][size][column] for b in BENCHMARK_NAMES]
+                published = paper_data.TABLE2_AVERAGE[size][column]
+                assert sum(values) / len(values) == pytest.approx(published, abs=0.02)
+
+    def test_lt_always_beats_lt0(self):
+        """Re-indexing never hurts in the paper's data."""
+        for rows in paper_data.TABLE2.values():
+            for esav, lt0, lt in rows.values():
+                assert lt > lt0
+                assert lt0 >= paper_data.CELL_LIFETIME_YEARS - 1e-9
+
+    def test_text_example_sha_2x(self):
+        """'In some cases such a benefit is much larger, as for sha
+        where we obtain a 2x lifetime extension' (32kB)."""
+        _, _, lt = paper_data.TABLE2["sha"][32768]
+        assert lt / paper_data.CELL_LIFETIME_YEARS > 2.0
+
+
+class TestTable3:
+    def test_ls16_columns_match_table2_16k(self):
+        """Table III's 16B column repeats Table II's 16kB data."""
+        for bench in BENCHMARK_NAMES:
+            esav3, lt3 = paper_data.TABLE3[bench][16]
+            esav2, _, lt2 = paper_data.TABLE2[bench][16384]
+            assert esav3 == pytest.approx(esav2, abs=0.45)
+            assert lt3 == pytest.approx(lt2, abs=0.6)
+
+    def test_averages(self):
+        for line_size in (16, 32):
+            for column in (0, 1):
+                values = [paper_data.TABLE3[b][line_size][column] for b in BENCHMARK_NAMES]
+                published = paper_data.TABLE3_AVERAGE[line_size][column]
+                assert sum(values) / len(values) == pytest.approx(published, abs=0.12)
+
+    def test_esav_always_drops_at_32b(self):
+        for bench in BENCHMARK_NAMES:
+            assert paper_data.TABLE3[bench][32][0] < paper_data.TABLE3[bench][16][0]
+
+
+class TestTable4:
+    def test_covers_grid(self):
+        assert set(paper_data.TABLE4) == {
+            (size, banks)
+            for size in (8192, 16384, 32768)
+            for banks in (2, 4, 8)
+        }
+
+    def test_monotone_in_banks(self):
+        for size in (8192, 16384, 32768):
+            idles = [paper_data.TABLE4[(size, m)][0] for m in (2, 4, 8)]
+            lifetimes = [paper_data.TABLE4[(size, m)][1] for m in (2, 4, 8)]
+            assert idles == sorted(idles)
+            assert lifetimes == sorted(lifetimes)
+
+    def test_m4_16k_consistent_with_table2(self):
+        """Table IV's (16kB, M=4) lifetime is Table II's 16kB LT average."""
+        _, lt = paper_data.TABLE4[(16384, 4)]
+        assert lt == pytest.approx(paper_data.TABLE2_AVERAGE[16384][2], abs=0.01)
+
+    def test_text_claim_m8_about_2x(self):
+        for size in (8192, 16384, 32768):
+            _, lt = paper_data.TABLE4[(size, 8)]
+            assert lt / paper_data.CELL_LIFETIME_YEARS > 1.8
+
+    def test_lifetimes_obey_idleness_law(self):
+        """Every Table IV entry sits near LT = 2.93/(1 − 0.75·I) — the
+        relation our calibration was derived from."""
+        for (size, banks), (idleness, lifetime) in paper_data.TABLE4.items():
+            predicted = 2.93 / (1.0 - 0.75 * idleness / 100.0)
+            assert lifetime == pytest.approx(predicted, rel=0.05), (size, banks)

@@ -1,0 +1,168 @@
+"""Tests for the energy model and breakeven computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.power.breakeven import breakeven_cycles
+from repro.power.energy import EnergyModel, TechnologyParams
+
+GEOMETRY = CacheGeometry(16 * 1024, 16)
+
+
+class TestTechnologyParams:
+    def test_defaults_valid(self):
+        TechnologyParams()
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(e_access_fixed=-1.0)
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(leak_per_line=-0.1)
+
+    def test_rejects_bad_drowsy_ratio(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(drowsy_leak_ratio=1.5)
+
+    def test_rejects_narrow_addresses(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(address_bits=4)
+
+
+class TestStructure:
+    def test_lines_per_bank(self):
+        assert EnergyModel(GEOMETRY, 4).lines_per_bank == 256
+        assert EnergyModel(GEOMETRY, 1).lines_per_bank == 1024
+
+    def test_tag_bits_16k_16b(self):
+        """32-bit addresses, 10 index bits, 4 offset bits -> 18 tag + valid."""
+        assert EnergyModel(GEOMETRY, 4).tag_bits_per_line == 19
+
+    def test_tag_bits_depend_on_capacity_not_line_size(self):
+        """index + offset bits always cover log2(size) in a direct-mapped
+        cache, so the per-line tag width is set by the capacity alone."""
+        ls16 = EnergyModel(CacheGeometry(16 * 1024, 16), 4)
+        ls32 = EnergyModel(CacheGeometry(16 * 1024, 32), 4)
+        small = EnergyModel(CacheGeometry(8 * 1024, 16), 4)
+        assert ls32.tag_bits_per_line == ls16.tag_bits_per_line
+        assert small.tag_bits_per_line == ls16.tag_bits_per_line + 1
+
+    def test_wiring_factor(self):
+        assert EnergyModel(GEOMETRY, 1).wiring_factor == 1.0
+        assert EnergyModel(GEOMETRY, 4).wiring_factor == pytest.approx(1.045)
+
+    def test_rejects_bad_bank_counts(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(GEOMETRY, 0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(CacheGeometry(64, 16), 8)
+
+
+class TestPerEventQuantities:
+    def test_bank_access_cheaper_than_monolithic(self):
+        """The point of banking: the accessed array is 4x smaller."""
+        mono = EnergyModel(GEOMETRY, 1).access_energy()
+        banked = EnergyModel(GEOMETRY, 4).access_energy()
+        assert banked < mono
+
+    def test_access_energy_grows_with_cache_size(self):
+        small = EnergyModel(CacheGeometry(8 * 1024, 16), 1).access_energy()
+        large = EnergyModel(CacheGeometry(32 * 1024, 16), 1).access_energy()
+        assert large > small
+
+    def test_leakage_scales_with_banking_only_through_wiring(self):
+        """Total leakage of M banks ~ monolithic leakage * wiring factor."""
+        mono = EnergyModel(GEOMETRY, 1)
+        banked = EnergyModel(GEOMETRY, 4)
+        total_banked = 4 * banked.bank_leakage_power()
+        assert total_banked == pytest.approx(
+            mono.bank_leakage_power() * banked.wiring_factor, rel=1e-9
+        )
+
+    def test_drowsy_saves_most_leakage(self):
+        model = EnergyModel(GEOMETRY, 4)
+        assert model.drowsy_leakage_power() < 0.1 * model.bank_leakage_power()
+
+    def test_transition_energy_positive(self):
+        assert EnergyModel(GEOMETRY, 4).transition_energy() > 0
+
+
+class TestAggregation:
+    def test_bank_energy_components(self):
+        model = EnergyModel(GEOMETRY, 4)
+        breakdown = model.bank_energy(
+            accesses=100, active_cycles=1000, sleep_cycles=500, transitions=3
+        )
+        assert breakdown.dynamic == pytest.approx(100 * model.access_energy())
+        assert breakdown.leakage_active == pytest.approx(1000 * model.bank_leakage_power())
+        assert breakdown.leakage_drowsy == pytest.approx(500 * model.drowsy_leakage_power())
+        assert breakdown.transitions == pytest.approx(3 * model.transition_energy())
+        assert breakdown.total == pytest.approx(
+            breakdown.dynamic + breakdown.leakage_active
+            + breakdown.leakage_drowsy + breakdown.transitions
+        )
+
+    def test_rejects_negative_counters(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(GEOMETRY, 4).bank_energy(-1, 0, 0, 0)
+
+    def test_unmanaged_energy(self):
+        model = EnergyModel(GEOMETRY, 1)
+        energy = model.unmanaged_energy(total_accesses=10, total_cycles=100)
+        expected = 10 * model.access_energy() + 100 * model.bank_leakage_power()
+        assert energy == pytest.approx(expected)
+
+    def test_savings_helper(self):
+        assert EnergyModel.savings(100.0, 60.0) == pytest.approx(0.4)
+        with pytest.raises(ConfigurationError):
+            EnergyModel.savings(0.0, 10.0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**3),
+    )
+    def test_property_energy_nonnegative(self, acc, active, sleep, trans):
+        breakdown = EnergyModel(GEOMETRY, 4).bank_energy(acc, active, sleep, trans)
+        assert breakdown.total >= 0.0
+
+
+class TestSleepIsWorthIt:
+    def test_sleeping_beyond_breakeven_saves_energy(self):
+        """A bank asleep for breakeven+k cycles must cost less than one
+        kept awake — the defining property of the breakeven time."""
+        model = EnergyModel(GEOMETRY, 4)
+        breakeven = breakeven_cycles(model)
+        gap = breakeven + 50
+        asleep = model.bank_energy(0, 0, gap, 1).total
+        awake = model.bank_energy(0, gap, 0, 0).total
+        assert asleep < awake
+
+    def test_sleeping_below_breakeven_wastes_energy(self):
+        model = EnergyModel(GEOMETRY, 4)
+        breakeven = breakeven_cycles(model)
+        gap = max(1, breakeven - 5)
+        asleep = model.bank_energy(0, 0, gap, 1).total
+        awake = model.bank_energy(0, gap, 0, 0).total
+        assert asleep >= awake
+
+
+class TestBreakeven:
+    def test_paper_magnitude(self):
+        """'In the order of a few tens of cycles'; 5-6 bit counters."""
+        for size_kb in (8, 16, 32):
+            for banks in (2, 4, 8, 16):
+                model = EnergyModel(CacheGeometry(size_kb * 1024, 16), banks)
+                breakeven = breakeven_cycles(model)
+                assert 4 <= breakeven <= 63
+
+    def test_rejects_useless_drowsy_state(self):
+        tech = TechnologyParams(drowsy_leak_ratio=1.0)
+        model = EnergyModel(GEOMETRY, 4, tech)
+        with pytest.raises(ConfigurationError):
+            breakeven_cycles(model)

@@ -1,0 +1,76 @@
+"""Executable-documentation tests: README snippets and new CLI commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs_as_documented(self):
+        """The README's quickstart, verbatim in spirit (shorter trace)."""
+        from repro import (
+            ArchitectureConfig,
+            CacheGeometry,
+            WorkloadGenerator,
+            profile_for,
+            simulate,
+        )
+
+        geometry = CacheGeometry(size_bytes=16 * 1024, line_size=16)
+        trace = WorkloadGenerator(geometry, num_windows=200).generate(
+            profile_for("sha")
+        )
+        config = ArchitectureConfig(
+            geometry,
+            num_banks=4,
+            policy="probing",
+            update_period_cycles=trace.horizon // 16,
+        )
+        result = simulate(config, trace)
+        text = result.describe()
+        assert "sha" in text
+        assert result.lifetime_years > 2.93
+        assert 0.0 < result.energy_savings < 1.0
+
+    def test_package_docstring_doctest(self):
+        """The example in repro/__init__.py must stay runnable."""
+        import doctest
+
+        import repro
+
+        result = doctest.testmod(repro, verbose=False)
+        assert result.attempted > 0
+        assert result.failed == 0
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestCLIExtras:
+    def test_profile_command(self, capsys):
+        assert main(["profile", "sha", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "bank shares" in out
+        assert "footprint" in out
+
+    def test_profile_unknown_benchmark_raises_helpfully(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="known:"):
+            main(["profile", "nosuch"])
+
+    def test_arch_includes_gate_overhead(self, capsys):
+        assert main(["arch", "--banks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "gate-equivalents" in out
+        assert "access-path depth" in out
+
+    def test_version_attribute(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,95 @@
+"""Tests for result serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import FastSimulator
+from repro.core.serialize import (
+    ResultRecord,
+    SerializationError,
+    load_results,
+    result_to_dict,
+    save_results,
+)
+from tests.conftest import make_random_trace
+
+
+@pytest.fixture(scope="module")
+def result(lut_mod):
+    config = ArchitectureConfig(
+        CacheGeometry(8 * 1024, 16), num_banks=4, policy="probing",
+        update_period_cycles=8000,
+    )
+    return FastSimulator(config, lut_mod).run(make_random_trace(seed=77))
+
+
+@pytest.fixture(scope="module")
+def lut_mod():
+    from repro.aging.lut import LifetimeLUT
+
+    return LifetimeLUT.default()
+
+
+class TestRoundTrip:
+    def test_dict_contains_key_metrics(self, result):
+        payload = result_to_dict(result)
+        assert payload["lifetime_years"] == pytest.approx(result.lifetime_years)
+        assert payload["energy_savings"] == pytest.approx(result.energy_savings)
+        assert payload["config"]["num_banks"] == 4
+        assert len(payload["bank_idleness"]) == 4
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_results([result, result], path)
+        records = load_results(path)
+        assert len(records) == 2
+        for record in records:
+            assert isinstance(record, ResultRecord)
+            assert record.lifetime_years == pytest.approx(result.lifetime_years)
+            assert record.bank_accesses == tuple(
+                s.accesses for s in result.bank_stats
+            )
+            assert record.hit_rate == pytest.approx(result.hit_rate)
+
+    def test_json_is_stable_and_sorted(self, result, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        save_results([result], path_a)
+        save_results([result], path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_accepts_pre_flattened_dicts(self, result, tmp_path):
+        path = tmp_path / "c.json"
+        save_results([result_to_dict(result)], path)
+        assert len(load_results(path)) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_version(self, result):
+        payload = result_to_dict(result)
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            ResultRecord.from_dict(payload)
+
+    def test_rejects_missing_fields(self, result):
+        payload = result_to_dict(result)
+        del payload["lifetime_years"]
+        with pytest.raises(SerializationError):
+            ResultRecord.from_dict(payload)
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(SerializationError):
+            load_results(path)
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"version": 1, "results": {"a": 1}}))
+        with pytest.raises(SerializationError):
+            load_results(path)

@@ -1,0 +1,145 @@
+"""Tests for the Trace container and trace I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.io import load_trace, save_trace
+from repro.trace.trace import Trace
+
+
+def simple_trace(**kwargs) -> Trace:
+    return Trace(
+        cycles=np.array([0, 5, 9, 20], dtype=np.int64),
+        addresses=np.array([0x10, 0x20, 0x10, 0x400], dtype=np.int64),
+        **kwargs,
+    )
+
+
+class TestTrace:
+    def test_length_and_iteration(self):
+        trace = simple_trace()
+        assert len(trace) == 4
+        assert list(trace) == [(0, 0x10), (5, 0x20), (9, 0x10), (20, 0x400)]
+
+    def test_default_horizon(self):
+        assert simple_trace().horizon == 21
+
+    def test_explicit_horizon(self):
+        assert simple_trace(horizon=100).horizon == 100
+
+    def test_horizon_too_short_rejected(self):
+        with pytest.raises(TraceError):
+            simple_trace(horizon=10)
+
+    def test_rejects_non_monotonic(self):
+        with pytest.raises(TraceError):
+            Trace(np.array([3, 3]), np.array([0, 0]))
+        with pytest.raises(TraceError):
+            Trace(np.array([3, 2]), np.array([0, 0]))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(TraceError):
+            Trace(np.array([-1, 2]), np.array([0, 0]))
+        with pytest.raises(TraceError):
+            Trace(np.array([1, 2]), np.array([0, -4]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(TraceError):
+            Trace(np.array([1, 2]), np.array([0]))
+
+    def test_empty_trace(self):
+        trace = Trace(np.empty(0, np.int64), np.empty(0, np.int64), horizon=10)
+        assert len(trace) == 0
+        assert trace.horizon == 10
+        assert trace.access_density == 0.0
+
+    def test_access_density(self):
+        assert simple_trace(horizon=40).access_density == pytest.approx(0.1)
+
+    def test_slice_keeps_absolute_cycles(self):
+        trace = simple_trace()
+        part = trace.slice(5, 10)
+        assert list(part) == [(5, 0x20), (9, 0x10)]
+        assert part.horizon == 10
+
+    def test_slice_bounds_validated(self):
+        with pytest.raises(TraceError):
+            simple_trace().slice(5, 4)
+
+    def test_with_name(self):
+        assert simple_trace().with_name("sha").name == "sha"
+
+    def test_from_pairs(self):
+        trace = Trace.from_pairs([(1, 0x10), (2, 0x20)], name="x")
+        assert len(trace) == 2
+        assert trace.name == "x"
+
+    def test_from_pairs_empty(self):
+        assert len(Trace.from_pairs([])) == 0
+
+
+class TestTraceIO:
+    def test_text_round_trip(self, tmp_path):
+        trace = simple_trace(horizon=50, name="bench")
+        path = tmp_path / "t.trc"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.cycles, trace.cycles)
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.horizon == 50
+        assert loaded.name == "bench"
+
+    def test_binary_round_trip(self, tmp_path):
+        trace = simple_trace(horizon=50, name="bench")
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.cycles, trace.cycles)
+        assert loaded.name == "bench"
+        assert loaded.horizon == 50
+
+    def test_text_format_is_hex(self, tmp_path):
+        path = tmp_path / "t.trc"
+        save_trace(simple_trace(), path)
+        body = path.read_text()
+        assert "0x400" in body
+        assert "# horizon: 21" in body
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("1 2 3\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("abc 0x10\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ok.trc"
+        path.write_text("# a comment\n\n3 0x10\n")
+        trace = load_trace(path)
+        assert list(trace) == [(3, 0x10)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=100), max_size=50))
+    def test_property_round_trip_any_trace(self, gaps):
+        import tempfile
+        cycles = np.cumsum(np.asarray(gaps, dtype=np.int64)) if gaps else np.empty(0, np.int64)
+        addresses = np.arange(len(gaps), dtype=np.int64) * 16
+        trace = Trace(cycles, addresses, horizon=int(cycles[-1]) + 5 if gaps else 7)
+        tmp = tempfile.NamedTemporaryFile(suffix=".trc", delete=False)
+        tmp.close()
+        path = tmp.name
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.cycles, trace.cycles)
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.horizon == trace.horizon

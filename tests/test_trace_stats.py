@@ -1,0 +1,86 @@
+"""Tests for the workload characterization module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import TraceError
+from repro.trace.generator import WorkloadGenerator
+from repro.trace.mediabench import profile_for
+from repro.trace.stats import describe_profile, profile_trace
+from repro.trace.trace import Trace
+
+GEOMETRY = CacheGeometry(16 * 1024, 16)
+
+
+def tiny_trace() -> Trace:
+    # Two accesses to line 0 (reuse distance 2), one to line 1, one far
+    # line (different bank), with distinct gaps.
+    cycles = np.array([0, 10, 11, 31], dtype=np.int64)
+    addresses = np.array([0x00, 0x10, 0x00, 0x2000], dtype=np.int64)
+    return Trace(cycles, addresses, horizon=100)
+
+
+class TestProfileTrace:
+    def test_counts(self):
+        profile = profile_trace(tiny_trace(), GEOMETRY)
+        assert profile.accesses == 4
+        assert profile.horizon == 100
+        assert profile.distinct_lines == 3
+        assert profile.footprint_bytes == 3 * 16
+
+    def test_bank_shares_sum_to_one(self):
+        profile = profile_trace(tiny_trace(), GEOMETRY)
+        assert sum(profile.bank_shares) == pytest.approx(1.0)
+        # 0x2000 = line 512 -> bank 2 of 4 (index 512 of 1024).
+        assert profile.bank_shares[2] == pytest.approx(0.25)
+
+    def test_gap_percentiles(self):
+        profile = profile_trace(tiny_trace(), GEOMETRY)
+        assert profile.gap_percentiles[50] == pytest.approx(10.0)
+        assert profile.gap_percentiles[99] <= 20.0
+
+    def test_reuse_distance(self):
+        profile = profile_trace(tiny_trace(), GEOMETRY)
+        # Line 0 touched at positions 0 and 2 -> reuse distance 2.
+        assert profile.reuse_distance_median == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        empty = Trace(np.empty(0, np.int64), np.empty(0, np.int64), horizon=10)
+        profile = profile_trace(empty, GEOMETRY)
+        assert profile.accesses == 0
+        assert profile.footprint_bytes == 0
+
+    def test_rejects_bad_bank_split(self):
+        with pytest.raises(TraceError):
+            profile_trace(tiny_trace(), GEOMETRY, num_banks=3)
+
+    def test_describe_renders(self):
+        text = describe_profile(profile_trace(tiny_trace(), GEOMETRY))
+        assert "footprint" in text
+        assert "bank shares" in text
+
+
+class TestOnGeneratedWorkloads:
+    def test_bank_shares_reflect_idleness_profile(self):
+        """adpcm.dec: banks 1 and 2 are nearly unused."""
+        generator = WorkloadGenerator(GEOMETRY, num_windows=300)
+        trace = generator.generate(profile_for("adpcm.dec"))
+        profile = profile_trace(trace, GEOMETRY)
+        assert profile.bank_shares[1] < 0.02
+        assert profile.bank_shares[2] < 0.02
+        assert profile.bank_shares[0] + profile.bank_shares[3] > 0.95
+
+    def test_gaps_below_breakeven_within_bursts(self):
+        generator = WorkloadGenerator(GEOMETRY, num_windows=300)
+        trace = generator.generate(profile_for("CRC32"))
+        profile = profile_trace(trace, GEOMETRY)
+        assert profile.gap_percentiles[50] <= 8
+
+    def test_footprint_exceeds_cache_due_to_tag_turnover(self):
+        generator = WorkloadGenerator(GEOMETRY, num_windows=300)
+        trace = generator.generate(profile_for("lame"))
+        profile = profile_trace(trace, GEOMETRY)
+        assert profile.footprint_bytes > GEOMETRY.size_bytes // 4

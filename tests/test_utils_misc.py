@@ -1,0 +1,103 @@
+"""Tests for RandomStreams, units and ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomStreams
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    SECONDS_PER_YEAR,
+    cycles_to_seconds,
+    joules,
+    picojoules,
+    seconds_to_cycles,
+    seconds_to_years,
+    years_to_seconds,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        streams = RandomStreams(7)
+        a = streams.get("x").random(5)
+        b = streams.get("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        a = streams.get("x").random(5)
+        b = streams.get("y").random(5)
+        assert not (a == b).all()
+
+    def test_different_master_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(5)
+        b = RandomStreams(2).get("x").random(5)
+        assert not (a == b).all()
+
+    def test_order_independence(self):
+        """Streams must not depend on the order they are requested in."""
+        s1 = RandomStreams(3)
+        first_then_second = (s1.get("a").random(), s1.get("b").random())
+        s2 = RandomStreams(3)
+        second_then_first = (s2.get("b").random(), s2.get("a").random())
+        assert first_then_second[0] == second_then_first[1]
+        assert first_then_second[1] == second_then_first[0]
+
+    def test_spawn_namespacing(self):
+        root = RandomStreams(3)
+        child = root.spawn("sub")
+        assert child.seed_for("x") != root.seed_for("x")
+        assert child.seed_for("x") == RandomStreams(3).spawn("sub").seed_for("x")
+
+
+class TestUnits:
+    def test_cycles_seconds_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(12345.0)) == pytest.approx(12345.0)
+
+    def test_years_seconds_round_trip(self):
+        assert seconds_to_years(years_to_seconds(2.93)) == pytest.approx(2.93)
+
+    def test_year_definition(self):
+        assert years_to_seconds(1.0) == SECONDS_PER_YEAR
+
+    def test_energy_round_trip(self):
+        assert joules(picojoules(1.5)) == pytest.approx(1.5)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_seconds(10, frequency_hz=0)
+        with pytest.raises(ConfigurationError):
+            seconds_to_cycles(10, frequency_hz=-1)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "b"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in lines[2]
+
+    def test_none_renders_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        text = format_table(["col", "x"], [["long-value", 1], ["s", 22]])
+        lines = text.splitlines()
+        # All separator positions align.
+        positions = {line.find("|") for line in lines if "|" in line or "+" in line}
+        assert len({p for p in positions if p >= 0}) == 1
+
+    def test_float_format_override(self):
+        text = format_table(["a"], [[1.23456]], float_fmt=".4f")
+        assert "1.2346" in text
