@@ -20,7 +20,7 @@ from repro.aging.nbti import NBTIModel
 from repro.cache.geometry import CacheGeometry
 from repro.core.architecture import summarize
 from repro.core.config import ArchitectureConfig
-from repro.core.fastsim import FastSimulator
+from repro.core.simulator import simulate
 from repro.trace.generator import WorkloadGenerator
 from repro.trace.mediabench import profile_for
 
@@ -47,7 +47,7 @@ def test_breakeven_ablation(benchmark, workload):
                 update_period_cycles=trace.horizon // 16,
                 breakeven_override=breakeven,
             )
-            result = FastSimulator(config, lut).run(trace)
+            result = simulate(config, trace, lut)
             rows.append((breakeven, result.energy_savings, result.lifetime_years))
         return rows
 
@@ -70,9 +70,9 @@ def test_update_period_ablation(workload):
     """More updates -> better balance but more flush misses; the
     lifetime benefit saturates once updates >= M."""
     geometry, trace, lut = workload
-    static = FastSimulator(
-        ArchitectureConfig(geometry, num_banks=4, policy="static"), lut
-    ).run(trace)
+    static = simulate(
+        ArchitectureConfig(geometry, num_banks=4, policy="static"), trace, lut
+    )
     print()
     print("updates  LT      hit-rate cost")
     lifetimes = {}
@@ -81,7 +81,7 @@ def test_update_period_ablation(workload):
             geometry, num_banks=4, policy="probing",
             update_period_cycles=trace.horizon // updates,
         )
-        result = FastSimulator(config, lut).run(trace)
+        result = simulate(config, trace, lut)
         cost = static.hit_rate - result.hit_rate
         lifetimes[updates] = result.lifetime_years
         print(f"{updates:>7} {result.lifetime_years:6.2f}y {cost:8.2%}")
@@ -123,7 +123,7 @@ def test_wiring_overhead_limits_partitioning(workload):
     savings = {}
     for banks in (4, 16, 64):
         config = ArchitectureConfig(geometry, num_banks=banks, policy="static")
-        savings[banks] = FastSimulator(config, lut).run(trace).energy_savings
+        savings[banks] = simulate(config, trace, lut).energy_savings
     print(f"\nEsav vs M: {[(m, f'{s:.1%}') for m, s in savings.items()]}")
     gain_4_to_16 = savings[16] - savings[4]
     gain_16_to_64 = savings[64] - savings[16]

@@ -8,6 +8,8 @@ pins the exact-agreement contract while timing.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.aging.lut import LifetimeLUT
@@ -19,9 +21,8 @@ from repro.trace.generator import WorkloadGenerator
 from repro.trace.mediabench import profile_for
 
 
-@pytest.fixture(scope="module")
-def workload():
-    geometry = CacheGeometry(16 * 1024, 16)
+def make_workload(ways: int):
+    geometry = CacheGeometry(16 * 1024, 16, ways=ways)
     trace = WorkloadGenerator(geometry, num_windows=300).generate(
         profile_for("dijkstra")
     )
@@ -32,6 +33,16 @@ def workload():
         update_period_cycles=trace.horizon // 16,
     )
     return config, trace, LifetimeLUT.default()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(ways=1)
+
+
+@pytest.fixture(scope="module")
+def setassoc_workload():
+    return make_workload(ways=4)
 
 
 def test_fast_engine_throughput(benchmark, workload):
@@ -58,6 +69,37 @@ def test_engines_agree_while_timed(workload):
     reference = ReferenceSimulator(config, lut).run(short)
     assert fast.bank_stats == reference.bank_stats
     assert fast.cache_stats.hits == reference.cache_stats.hits
+
+
+def test_setassoc_fast_engine_throughput(benchmark, setassoc_workload):
+    config, trace, lut = setassoc_workload
+    result = benchmark(lambda: FastSimulator(config, lut).run(trace))
+    print(f"\n4-way fast engine: {len(trace):,} accesses -> "
+          f"lifetime {result.lifetime_years:.2f}y")
+    assert result.total_accesses == len(trace)
+
+
+def test_setassoc_speedup_over_reference(setassoc_workload):
+    """The acceptance point for the set-associative fast path: >= 10x
+    over the reference engine on a 4-way geometry, with bit-identical
+    measurements."""
+    config, trace, lut = setassoc_workload
+    start = time.perf_counter()
+    fast = FastSimulator(config, lut).run(trace)
+    fast_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    reference = ReferenceSimulator(config, lut).run(trace)
+    reference_seconds = time.perf_counter() - start
+    speedup = reference_seconds / fast_seconds
+    print(f"\n4-way, {len(trace):,} accesses: fast {fast_seconds:.3f}s, "
+          f"reference {reference_seconds:.3f}s -> {speedup:.1f}x")
+    assert fast.cache_stats.hits == reference.cache_stats.hits
+    assert fast.cache_stats.misses == reference.cache_stats.misses
+    assert fast.flush_invalidations == reference.flush_invalidations
+    assert fast.bank_stats == reference.bank_stats
+    assert fast.energy_pj == reference.energy_pj
+    assert fast.lifetime_years == reference.lifetime_years
+    assert speedup >= 10.0
 
 
 def test_trace_generation_throughput(benchmark):

@@ -22,7 +22,7 @@ import pytest
 from repro.aging.lut import LifetimeLUT
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import ArchitectureConfig
-from repro.core.fastsim import FastSimulator
+from repro.core.simulator import simulate
 from repro.finegrain import FineGrainConfig, FineGrainSimulator
 from repro.trace.generator import WorkloadGenerator
 from repro.trace.mediabench import profile_for
@@ -47,7 +47,7 @@ def test_granularity_comparison(benchmark, setup):
                 geometry, num_banks=banks, policy="probing",
                 update_period_cycles=trace.horizon // 16,
             )
-            result = FastSimulator(config, lut).run(trace)
+            result = simulate(config, trace, lut)
             rows.append((label, result.lifetime_years, result.energy_savings))
         for label, policy in (("fine static [20]", "static"), ("fine probing [7]", "probing")):
             config = FineGrainConfig(

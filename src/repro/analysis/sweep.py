@@ -2,21 +2,28 @@
 
 A sweep is a cartesian product of named parameter axes applied to a
 base :class:`~repro.core.config.ArchitectureConfig` via
-``dataclasses.replace``, each point simulated on a shared trace with the
-fast engine. Results come back as :class:`SweepResult`, a small
-query-friendly container used by the ablation benches and the
-exploration example.
+``dataclasses.replace``, each point simulated on a shared trace through
+the :func:`~repro.core.simulator.simulate` dispatcher (so any engine —
+and any geometry, including set-associative ones — works). Results come
+back as :class:`SweepResult`, a small query-friendly container used by
+the ablation benches and the exploration example.
+
+Large grids can be fanned out over processes with ``parallel=N``: the
+cartesian product is split into contiguous chunks, simulated by a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and reassembled in
+the exact order the serial path would have produced.
 """
 
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.aging.lut import LifetimeLUT
 from repro.core.config import ArchitectureConfig
-from repro.core.fastsim import FastSimulator
 from repro.core.results import SimulationResult
+from repro.core.simulator import simulate
 from repro.errors import ConfigurationError
 from repro.trace.trace import Trace
 
@@ -55,9 +62,15 @@ class SweepResult:
         return SweepResult(points=kept)
 
     def series(self, axis: str, metric: str) -> list[tuple[object, float]]:
-        """(axis value, metric) pairs sorted by axis value."""
+        """(axis value, metric) pairs sorted by axis value.
+
+        Axes may mix ``None`` with other values (e.g. the natural
+        static-vs-dynamic sweep ``update_period_cycles: [None, 50000]``);
+        ``None`` sorts first, numbers numerically, anything else by type
+        then repr, so the key is total without comparing across types.
+        """
         pairs = [(p.parameters[axis], p.value(metric)) for p in self.points]
-        return sorted(pairs, key=lambda pair: pair[0])
+        return sorted(pairs, key=lambda pair: _axis_sort_key(pair[0]))
 
     def best(self, metric: str, maximize: bool = True) -> SweepPoint:
         """The point optimizing ``metric``."""
@@ -67,11 +80,37 @@ class SweepResult:
         return chooser(self.points, key=lambda p: p.value(metric))
 
 
+def _axis_sort_key(value) -> tuple:
+    """None-first, type-stable total ordering key for axis values."""
+    if value is None:
+        return (0, 0.0, "")
+    if isinstance(value, bool):
+        return (1, float(value), "")
+    if isinstance(value, (int, float)):
+        return (2, float(value), "")
+    return (3, 0.0, f"{type(value).__name__}:{value!r}")
+
+
+def _simulate_chunk(payload) -> list[SimulationResult]:
+    """Worker for the parallel sweep: simulate one chunk of the grid.
+
+    Module-level (not a closure) so it pickles into pool workers.
+    """
+    base, trace, names, combos, lut, engine = payload
+    results = []
+    for combo in combos:
+        config = replace(base, **dict(zip(names, combo)))
+        results.append(simulate(config, trace, lut, engine=engine))
+    return results
+
+
 def sweep(
     base: ArchitectureConfig,
     trace: Trace,
     axes: dict[str, list],
     lut: LifetimeLUT | None = None,
+    engine: str = "auto",
+    parallel: int | None = None,
 ) -> SweepResult:
     """Simulate the cartesian product of ``axes`` over ``base``.
 
@@ -80,14 +119,21 @@ def sweep(
     base:
         Configuration template; each axis name must be a field of
         :class:`ArchitectureConfig` (e.g. ``num_banks``, ``policy``,
-        ``breakeven_override``, ``update_period_cycles``).
+        ``breakeven_override``, ``update_period_cycles``, ``geometry``).
     trace:
         Shared workload.
     axes:
         Mapping of field name to the values to explore.
+    engine:
+        Engine selector forwarded to
+        :func:`~repro.core.simulator.simulate` for every point.
+    parallel:
+        Fan the grid out over up to this many worker processes
+        (contiguous chunks, results reassembled in deterministic grid
+        order). ``None`` or ``1`` runs serially.
 
     >>> # doctest-style sketch (not executed here):
-    >>> # result = sweep(cfg, trace, {"num_banks": [2, 4, 8]})
+    >>> # result = sweep(cfg, trace, {"num_banks": [2, 4, 8]}, parallel=4)
     """
     if not axes:
         raise ConfigurationError("sweep needs at least one axis")
@@ -97,13 +143,29 @@ def sweep(
             raise ConfigurationError(
                 f"{name!r} is not an ArchitectureConfig field"
             )
+    if parallel is not None and parallel < 1:
+        raise ConfigurationError("parallel must be a positive worker count")
     shared_lut = lut if lut is not None else LifetimeLUT.default()
 
     names = list(axes)
-    points = []
-    for combo in itertools.product(*(axes[name] for name in names)):
-        assignment = dict(zip(names, combo))
-        config = replace(base, **assignment)
-        result = FastSimulator(config, shared_lut).run(trace)
-        points.append(SweepPoint(parameters=assignment, result=result))
-    return SweepResult(points=tuple(points))
+    combos = list(itertools.product(*(axes[name] for name in names)))
+    workers = min(parallel or 1, len(combos))
+    if workers > 1:
+        chunk_size = -(-len(combos) // workers)  # ceil division
+        chunks = [
+            combos[start : start + chunk_size]
+            for start in range(0, len(combos), chunk_size)
+        ]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            chunked = pool.map(
+                _simulate_chunk,
+                [(base, trace, names, chunk, shared_lut, engine) for chunk in chunks],
+            )
+            results = [result for chunk in chunked for result in chunk]
+    else:
+        results = _simulate_chunk((base, trace, names, combos, shared_lut, engine))
+    points = tuple(
+        SweepPoint(parameters=dict(zip(names, combo)), result=result)
+        for combo, result in zip(combos, results)
+    )
+    return SweepResult(points=points)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.simulator import ENGINE_NAMES
 from repro.experiments.compare import (
     compare_table1,
     compare_table2,
@@ -40,7 +41,7 @@ _TABLES = {
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    settings = ExperimentSettings(master_seed=args.seed)
+    settings = ExperimentSettings(master_seed=args.seed, engine=args.engine)
     if args.quick:
         settings = settings.quick()
     return ExperimentRunner(settings=settings)
@@ -160,6 +161,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2011, help="workload master seed")
     parser.add_argument("--quick", action="store_true", help="reduced benchmark set")
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default="auto",
+        help="simulation engine (auto picks the fastest supporting one)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in _TABLES:

@@ -17,12 +17,13 @@ from repro.core.architecture import ArchitectureSummary, summarize
 from repro.core.config import ArchitectureConfig
 from repro.core.fastsim import FastSimulator
 from repro.core.results import SimulationResult
-from repro.core.simulator import ReferenceSimulator, simulate
+from repro.core.simulator import ENGINE_NAMES, ReferenceSimulator, simulate
 
 __all__ = [
     "ArchitectureConfig",
     "ArchitectureSummary",
     "summarize",
+    "ENGINE_NAMES",
     "ReferenceSimulator",
     "FastSimulator",
     "SimulationResult",

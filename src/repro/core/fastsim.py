@@ -11,11 +11,14 @@ re-indexing epochs with numpy:
   and banks sleep straight through mapping changes, so per-bank stats
   come from one :func:`~repro.power.idleness.stats_from_access_cycles`
   call per bank over the whole run;
-* hits/misses: within an epoch the mapping is a bijection, so the
-  physical line of an access is identified by its logical index; sorting
-  accesses by (index, time) makes each access adjacent to its
-  predecessor on the same line, turning tag comparison into one
-  vectorized equality. Epochs start cold (the update flushed).
+* hits/misses: within an epoch the mapping is a bijection on banks and
+  the line-in-bank bits pass through unchanged, so the physical set of
+  an access is identified by its logical set index; sorting accesses by
+  (index, time) groups each set's accesses contiguously and in arrival
+  order. Direct-mapped caches then reduce to one vectorized
+  adjacent-tag comparison; set-associative caches run a lockstep LRU
+  stack simulation over the set-groups (:meth:`FastSimulator._epoch_hits_lru`).
+  Epochs start cold (the update flushed).
 """
 
 from __future__ import annotations
@@ -64,24 +67,14 @@ class FastSimulator:
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate ``trace`` and return the measurement record.
 
-        Raises
-        ------
-        ConfigurationError
-            For set-associative geometries: the vectorized tag
-            comparison is direct-mapped only (LRU state is inherently
-            sequential). Use :class:`ReferenceSimulator`, or
-            :func:`repro.core.simulator.simulate`, which dispatches
-            automatically.
+        Direct-mapped geometries use the adjacent-tag comparison of
+        :meth:`_epoch_hits`; set-associative ones the lockstep LRU
+        stack simulation of :meth:`_epoch_hits_lru`. Both agree exactly
+        with :class:`~repro.core.simulator.ReferenceSimulator`.
         """
         config = self.config
         geometry = config.geometry
-        if geometry.ways != 1:
-            from repro.errors import ConfigurationError
-
-            raise ConfigurationError(
-                "FastSimulator supports direct-mapped caches only; use "
-                "ReferenceSimulator for set-associative geometries"
-            )
+        ways = geometry.ways
         num_banks = config.num_banks
         p_bits = log2_exact(num_banks)
         line_bits = geometry.index_bits - p_bits
@@ -95,28 +88,52 @@ class FastSimulator:
         starts = np.concatenate(
             ([0], np.searchsorted(cycles, boundaries, side="left"), [len(trace)])
         )
+        num_epochs = len(starts) - 1
 
         policy = config.make_policy()
         physical = np.empty(len(trace), dtype=np.int64)
         hits = 0
-        misses = 0
         flush_invalidations = 0
-        touched_before_flush = 0
 
-        for epoch in range(len(starts) - 1):
-            if epoch > 0:
-                policy.update()
-                flush_invalidations += touched_before_flush
-            lo, hi = int(starts[epoch]), int(starts[epoch + 1])
-            if lo == hi:
-                touched_before_flush = 0
-                continue
-            mapping = policy.mapping()
-            physical[lo:hi] = mapping[logical_bank[lo:hi]]
-            epoch_hits, epoch_lines = self._epoch_hits(index[lo:hi], tag[lo:hi])
-            hits += epoch_hits
-            misses += (hi - lo) - epoch_hits
-            touched_before_flush = epoch_lines
+        if ways == 1:
+            touched_before_flush = 0
+            for epoch in range(num_epochs):
+                if epoch > 0:
+                    policy.update()
+                    flush_invalidations += touched_before_flush
+                lo, hi = int(starts[epoch]), int(starts[epoch + 1])
+                if lo == hi:
+                    touched_before_flush = 0
+                    continue
+                mapping = policy.mapping()
+                physical[lo:hi] = mapping[logical_bank[lo:hi]]
+                epoch_hits, epoch_lines = self._epoch_hits(index[lo:hi], tag[lo:hi])
+                hits += epoch_hits
+                touched_before_flush = epoch_lines
+        else:
+            # Set-associative: the epoch loop only applies the routing
+            # permutation; hits come from one lockstep LRU pass over
+            # all (epoch, set) groups at once.
+            for epoch in range(num_epochs):
+                if epoch > 0:
+                    policy.update()
+                lo, hi = int(starts[epoch]), int(starts[epoch + 1])
+                if lo == hi:
+                    continue
+                mapping = policy.mapping()
+                physical[lo:hi] = mapping[logical_bank[lo:hi]]
+            if len(trace):
+                num_sets = geometry.num_sets
+                epoch_of = np.repeat(np.arange(num_epochs), np.diff(starts))
+                hits, lines_per_group, group_keys = self._grouped_lru(
+                    epoch_of * num_sets + index, tag, ways
+                )
+                lines_per_epoch = np.zeros(num_epochs, dtype=np.int64)
+                np.add.at(lines_per_epoch, group_keys // num_sets, lines_per_group)
+                # Each boundary flush drops whatever lines the epoch it
+                # closes left valid; the final epoch is never flushed.
+                flush_invalidations = int(lines_per_epoch[:-1].sum())
+        misses = len(trace) - hits
 
         # Per-bank idleness over the whole run (sleep is oblivious to
         # mapping changes; only the physical access stream matters).
@@ -164,4 +181,87 @@ class FastSimulator:
         hits = int(np.count_nonzero(same_line & same_tag))
         distinct_lines = int(np.count_nonzero(~same_line)) + 1
         return hits, distinct_lines
+
+    @staticmethod
+    def _epoch_hits_lru(index: np.ndarray, tag: np.ndarray, ways: int) -> tuple[int, int]:
+        """Hits and surviving lines within one (cold-started) LRU epoch.
+
+        Per-epoch convenience over :meth:`_grouped_lru` (the engine
+        itself fuses all epochs into a single grouped pass).
+        """
+        hits, lines_per_set, _ = FastSimulator._grouped_lru(index, tag, ways)
+        return hits, int(lines_per_set.sum())
+
+    @staticmethod
+    def _grouped_lru(
+        keys: np.ndarray, tag: np.ndarray, ways: int
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Lockstep LRU simulation over contiguous key-groups.
+
+        ``keys`` identifies the cold-started LRU set each access falls
+        into (the engine passes ``epoch * num_sets + set_index`` so one
+        call covers the whole trace). Sorting by (key, arrival) makes
+        each group contiguous and in arrival order; the LRU stacks of
+        all groups then advance in lockstep, one within-group access
+        *rank* per Python iteration, with the compare/shift work
+        vectorized across every group still active at that rank. This
+        is exact because an LRU set's contents are history-independent:
+        after any prefix the set holds precisely its ``ways`` most
+        recently accessed distinct tags, so an access hits iff its tag
+        is among them and the stack update needs no per-access control
+        flow.
+
+        Returns ``(hits, lines_per_group, group_keys)``: total hits,
+        the valid lines each group retains at the end —
+        ``min(distinct tags, ways)``, since each miss allocates one
+        line and evicts only when the set is already full — and the
+        sorted unique keys the line counts are aligned with.
+        """
+        n = keys.size
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return 0, empty, empty
+        order = np.argsort(keys, kind="stable")  # stable = arrival order per group
+        key_sorted = keys[order]
+        tag_sorted = tag[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = key_sorted[1:] != key_sorted[:-1]
+        starts = np.flatnonzero(new_group)
+        group_keys = key_sorted[starts]
+        lengths = np.diff(np.append(starts, n))
+
+        # Surviving lines: distinct (key, tag) pairs per group, capped.
+        pair_order = np.lexsort((tag, keys))
+        pair_key = keys[pair_order]
+        pair_tag = tag[pair_order]
+        first_pair = np.empty(n, dtype=bool)
+        first_pair[0] = True
+        first_pair[1:] = (pair_key[1:] != pair_key[:-1]) | (pair_tag[1:] != pair_tag[:-1])
+        group_of_pair = np.cumsum(np.concatenate(([True], pair_key[1:] != pair_key[:-1]))) - 1
+        distinct_tags = np.bincount(group_of_pair[first_pair], minlength=starts.size)
+        lines_per_group = np.minimum(distinct_tags, ways).astype(np.int64)
+
+        # Longest groups first, so the groups active at rank r are
+        # always a leading slice of the stack matrix.
+        by_length = np.argsort(-lengths, kind="stable")
+        starts_by_length = starts[by_length]
+        lengths_by_length = lengths[by_length]
+        stacks = np.full((starts.size, ways), -1, dtype=np.int64)  # -1 = invalid
+        hits = 0
+        for rank in range(int(lengths_by_length[0])):
+            active = int(np.searchsorted(-lengths_by_length, -rank, side="left"))
+            current = tag_sorted[starts_by_length[:active] + rank]
+            live = stacks[:active]
+            matches = live == current[:, None]
+            hit_mask = matches.any(axis=1)
+            hits += int(np.count_nonzero(hit_mask))
+            # A hit rotates the stack above the matched way; a miss
+            # rotates the whole stack, evicting the LRU way.
+            depth = np.where(hit_mask, matches.argmax(axis=1), ways - 1)
+            for way in range(ways - 1, 0, -1):
+                rotate = depth >= way
+                live[rotate, way] = live[rotate, way - 1]
+            live[:, 0] = current
+        return hits, lines_per_group, group_keys
 

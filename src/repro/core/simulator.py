@@ -117,22 +117,36 @@ class ReferenceSimulator:
         )
 
 
+#: Engine names accepted by :func:`simulate` (and the CLI's ``--engine``).
+ENGINE_NAMES: tuple[str, ...] = ("auto", "fast", "reference")
+
+
 def simulate(
     config: ArchitectureConfig,
     trace: Trace,
     lut: LifetimeLUT | None = None,
-    engine: str = "fast",
+    engine: str = "auto",
 ) -> SimulationResult:
     """Convenience front-end: run ``trace`` on ``config``.
 
-    ``engine`` selects ``"fast"`` (default) or ``"reference"``.
-    Set-associative geometries always use the reference engine (the
-    vectorized tag comparison is direct-mapped only).
+    ``engine`` selects the simulation engine; every layer of the
+    library (sweeps, the experiment runner, the CLI, the examples)
+    funnels through this dispatcher so no caller ever instantiates an
+    engine it can't use:
+
+    * ``"auto"`` (default) — the fastest engine supporting the
+      configuration. Currently always the vectorized
+      :class:`~repro.core.fastsim.FastSimulator`, which covers both
+      direct-mapped and set-associative geometries.
+    * ``"fast"`` — force the vectorized engine.
+    * ``"reference"`` — force the event-by-event behavioral engine.
     """
-    if engine == "reference" or (engine == "fast" and config.geometry.ways != 1):
+    if engine == "reference":
         return ReferenceSimulator(config, lut).run(trace)
-    if engine == "fast":
+    if engine in ("auto", "fast"):
         from repro.core.fastsim import FastSimulator
 
         return FastSimulator(config, lut).run(trace)
-    raise ValueError(f"unknown engine {engine!r}")
+    raise ValueError(
+        f"unknown engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
+    )

@@ -4,7 +4,9 @@ Tables II-IV share many (benchmark, configuration) runs — e.g. the
 static M=4 runs appear in Tables I, II and III — so the runner caches
 :class:`~repro.core.results.SimulationResult` objects keyed by the full
 configuration. Everything funnels through :meth:`ExperimentRunner.run`,
-which uses the fast engine.
+which dispatches through :func:`~repro.core.simulator.simulate` with
+the engine named by :attr:`ExperimentSettings.engine` (``auto`` by
+default), so any geometry — including set-associative ones — works.
 """
 
 from __future__ import annotations
@@ -14,8 +16,8 @@ from dataclasses import dataclass, field
 from repro.aging.lut import LifetimeLUT
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import ArchitectureConfig
-from repro.core.fastsim import FastSimulator
 from repro.core.results import SimulationResult
+from repro.core.simulator import simulate
 from repro.experiments.suite import ExperimentSettings, TraceCache
 
 
@@ -78,7 +80,9 @@ class ExperimentRunner:
                 size_bytes, line_bytes, num_banks, policy, power_managed
             )
             trace = self._traces.get(benchmark, config.geometry)
-            self._results[key] = FastSimulator(config, self.lut).run(trace)
+            self._results[key] = simulate(
+                config, trace, self.lut, engine=self.settings.engine
+            )
         return self._results[key]
 
     # ------------------------------------------------------------------

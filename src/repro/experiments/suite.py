@@ -45,6 +45,10 @@ class ExperimentSettings:
     benchmarks:
         Benchmark subset (defaults to all 18); trimming it makes smoke
         runs fast.
+    engine:
+        Simulation engine name forwarded to
+        :func:`~repro.core.simulator.simulate` (``auto``, ``fast`` or
+        ``reference``).
     """
 
     master_seed: int = 2011
@@ -53,6 +57,7 @@ class ExperimentSettings:
     num_updates: int = 16
     policy: str = "probing"
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_updates < max(BANK_COUNTS):
@@ -62,6 +67,13 @@ class ExperimentSettings:
             )
         for name in self.benchmarks:
             profile_for(name)  # raises on unknown names
+        from repro.core.simulator import ENGINE_NAMES
+
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: "
+                f"{', '.join(ENGINE_NAMES)}"
+            )
 
     @property
     def horizon(self) -> int:
@@ -82,6 +94,7 @@ class ExperimentSettings:
             num_updates=self.num_updates,
             policy=self.policy,
             benchmarks=self.benchmarks[::3],
+            engine=self.engine,
         )
 
 

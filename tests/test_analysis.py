@@ -64,6 +64,69 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             result.best("lifetime_years")
 
+    def test_geometry_axis_mixing_associativities(self, base_and_trace, lut):
+        """Regression: sweep() used to hardcode FastSimulator, so a
+        geometry axis containing a set-associative config raised
+        ConfigurationError instead of simulating."""
+        from dataclasses import replace
+
+        from repro.core.simulator import ReferenceSimulator
+
+        base, trace = base_and_trace
+        axes = {
+            "geometry": [
+                CacheGeometry(8 * 1024, 16),
+                CacheGeometry(8 * 1024, 16, ways=4),
+            ]
+        }
+        result = sweep(base, trace, axes, lut)
+        assert len(result) == 2
+        for point in result:
+            config = replace(base, **point.parameters)
+            reference = ReferenceSimulator(config, lut).run(trace)
+            assert point.result.cache_stats.hits == reference.cache_stats.hits
+            assert point.result.bank_stats == reference.bank_stats
+
+    def test_series_with_none_mixed_axis(self, base_and_trace, lut):
+        """Regression: series() crashed with TypeError when an axis
+        mixed None and numbers (static-vs-dynamic sweeps)."""
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"update_period_cycles": [50000, None, 8000]}, lut)
+        series = result.series("update_period_cycles", "lifetime_years")
+        assert [value for value, _ in series] == [None, 8000, 50000]
+
+    def test_engine_parameter_forwarded(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        fast = sweep(base, trace, {"num_banks": [2, 4]}, lut, engine="fast")
+        reference = sweep(base, trace, {"num_banks": [2, 4]}, lut, engine="reference")
+        for a, b in zip(fast, reference):
+            assert a.parameters == b.parameters
+            assert a.result.cache_stats.hits == b.result.cache_stats.hits
+            assert a.result.lifetime_years == b.result.lifetime_years
+
+    def test_rejects_bad_parallel(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        with pytest.raises(ConfigurationError):
+            sweep(base, trace, {"num_banks": [2]}, lut, parallel=0)
+
+
+class TestParallelSweep:
+    def test_matches_serial_in_order_and_values(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        axes = {"num_banks": [2, 4, 8], "policy": ["static", "probing"]}
+        serial = sweep(base, trace, axes, lut)
+        parallel = sweep(base, trace, axes, lut, parallel=3)
+        assert [p.parameters for p in serial] == [p.parameters for p in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.result.cache_stats.hits == b.result.cache_stats.hits
+            assert a.result.energy_pj == b.result.energy_pj
+            assert a.result.lifetime_years == b.result.lifetime_years
+
+    def test_more_workers_than_points(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [2, 4]}, lut, parallel=16)
+        assert len(result) == 2
+
 
 class TestPareto:
     def test_single_dominant_point(self):

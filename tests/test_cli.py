@@ -35,6 +35,16 @@ class TestCLI:
         assert "probing" in out
         assert "scrambling" in out
 
+    def test_engine_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--engine", "warp", "cell"])
+
+    def test_engine_flag_accepted(self, capsys):
+        """--engine threads through to the runner settings; the cheap
+        cell command just checks the flag parses."""
+        assert main(["--engine", "reference", "cell"]) == 0
+        assert "fresh read SNM" in capsys.readouterr().out
+
     @pytest.mark.slow
     def test_table1_quick(self, capsys):
         assert main(["--quick", "table1"]) == 0

@@ -127,6 +127,17 @@ class TestSimulateFrontend:
         reference = simulate(config, random_trace, lut, engine="reference")
         assert_results_equal(reference, fast)
 
+    def test_auto_is_default_and_agrees(self, lut, random_trace):
+        config = ArchitectureConfig(CacheGeometry(8 * 1024, 16), num_banks=4)
+        auto = simulate(config, random_trace, lut)
+        reference = simulate(config, random_trace, lut, engine="reference")
+        assert_results_equal(reference, auto)
+
+    def test_engine_names_registry(self):
+        from repro.core.simulator import ENGINE_NAMES
+
+        assert ENGINE_NAMES == ("auto", "fast", "reference")
+
     def test_unknown_engine(self, lut, random_trace):
         config = ArchitectureConfig(CacheGeometry(8 * 1024, 16), num_banks=4)
         with pytest.raises(ValueError):

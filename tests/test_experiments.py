@@ -56,6 +56,39 @@ class TestSettings:
             ExperimentSettings(benchmarks=("nosuch",))
 
 
+class TestEngineSelection:
+    def test_rejects_unknown_engine(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="engine"):
+            ExperimentSettings(engine="warp")
+
+    def test_quick_preserves_engine(self):
+        settings = ExperimentSettings(engine="reference").quick()
+        assert settings.engine == "reference"
+
+    def test_runner_honours_engine_setting(self, lut_module):
+        """Regression: ExperimentRunner.run hardcoded FastSimulator; it
+        now dispatches through simulate() with settings.engine, so the
+        reference engine is selectable and agrees with the default."""
+        quick = ExperimentSettings(num_windows=60, benchmarks=("sha",))
+
+        def run_with(engine):
+            settings = ExperimentSettings(
+                num_windows=quick.num_windows,
+                benchmarks=quick.benchmarks,
+                engine=engine,
+            )
+            runner = ExperimentRunner(settings=settings, lut=lut_module)
+            return runner.run("sha", 8 * 1024, 16, 4, "probing")
+
+        auto = run_with("auto")
+        reference = run_with("reference")
+        assert auto.cache_stats.hits == reference.cache_stats.hits
+        assert auto.bank_stats == reference.bank_stats
+        assert auto.lifetime_years == reference.lifetime_years
+
+
 class TestRunnerMechanics:
     def test_results_are_memoized(self, runner):
         a = runner.static_run("sha", 16384, 16, 4)
