@@ -41,6 +41,7 @@ from repro.core import (
     FastSimulator,
     ReferenceSimulator,
     SimulationResult,
+    TracePlan,
     simulate,
     summarize,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "ArchitectureConfig",
     "ReferenceSimulator",
     "FastSimulator",
+    "TracePlan",
     "SimulationResult",
     "simulate",
     "summarize",

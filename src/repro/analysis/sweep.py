@@ -8,10 +8,21 @@ and any geometry, including set-associative ones — works). Results come
 back as :class:`SweepResult`, a small query-friendly container used by
 the ablation benches and the exploration example.
 
+The grid does not pay the full per-point cost: a shared
+:class:`~repro.core.plan.TracePlan` memoizes the address decode, epoch
+boundaries and bank-sorted access stream across points, and points that
+differ only in ``breakeven_override`` are simulated as one
+:func:`~repro.core.fastsim.run_breakeven_group` — one gap computation
+for the whole breakeven axis. Every result stays bit-identical to an
+independent per-point simulation (the tests hold the two together).
+
 Large grids can be fanned out over processes with ``parallel=N``: the
 cartesian product is split into contiguous chunks, simulated by a
 :class:`~concurrent.futures.ProcessPoolExecutor`, and reassembled in
-the exact order the serial path would have produced.
+the exact order the serial path would have produced. The trace and LUT
+travel to each worker once, through the pool initializer; chunk payloads
+carry only the parameter combinations, so fanning out a big trace no
+longer re-pickles it per chunk.
 """
 
 from __future__ import annotations
@@ -22,8 +33,10 @@ from dataclasses import dataclass, replace
 
 from repro.aging.lut import LifetimeLUT
 from repro.core.config import ArchitectureConfig
+from repro.core.fastsim import run_breakeven_group
+from repro.core.plan import TracePlan
 from repro.core.results import SimulationResult
-from repro.core.simulator import simulate
+from repro.core.simulator import simulate, validate_engine
 from repro.errors import ConfigurationError
 from repro.trace.trace import Trace
 
@@ -91,17 +104,120 @@ def _axis_sort_key(value) -> tuple:
     return (3, 0.0, f"{type(value).__name__}:{value!r}")
 
 
+#: Per-worker shared state, installed once by :func:`_init_worker` so
+#: chunk payloads never carry the trace or the LUT.
+_worker_trace: Trace | None = None
+_worker_lut: LifetimeLUT | None = None
+_worker_plan: TracePlan | None = None
+
+
+def _init_worker(trace: Trace, lut: LifetimeLUT) -> None:
+    """Pool initializer: receive the shared trace/LUT once per worker."""
+    global _worker_trace, _worker_lut, _worker_plan
+    _worker_trace = trace
+    _worker_lut = lut
+    _worker_plan = TracePlan(trace)
+
+
 def _simulate_chunk(payload) -> list[SimulationResult]:
     """Worker for the parallel sweep: simulate one chunk of the grid.
 
-    Module-level (not a closure) so it pickles into pool workers.
+    Module-level (not a closure) so it pickles into pool workers; the
+    trace, LUT and plan come from :func:`_init_worker`, not the payload.
     """
-    base, trace, names, combos, lut, engine = payload
-    results = []
-    for combo in combos:
-        config = replace(base, **dict(zip(names, combo)))
-        results.append(simulate(config, trace, lut, engine=engine))
+    base, names, combos, group_ids, engine = payload
+    return _simulate_combos(
+        base, _worker_trace, names, combos, group_ids, _worker_lut, engine, _worker_plan
+    )
+
+
+def _breakeven_group_ids(names: list[str], axes: dict[str, list]) -> list[int] | None:
+    """Group id per grid point; equal ids differ only in breakeven.
+
+    ``None`` when the grid has no ``breakeven_override`` axis (each
+    point is then its own group). Ids are the point's flat grid index
+    with the breakeven coordinate zeroed, so membership needs no
+    hashing of axis values (which may be arbitrary objects).
+    """
+    if "breakeven_override" not in names:
+        return None
+    breakeven_axis = names.index("breakeven_override")
+    sizes = [len(axes[name]) for name in names]
+    ids = []
+    for coords in itertools.product(*(range(size) for size in sizes)):
+        flat = 0
+        for axis, coord in enumerate(coords):
+            flat = flat * sizes[axis] + (0 if axis == breakeven_axis else coord)
+        ids.append(flat)
+    return ids
+
+
+def _simulate_combos(
+    base: ArchitectureConfig,
+    trace: Trace,
+    names: list[str],
+    combos: list[tuple],
+    group_ids: list[int] | None,
+    lut: LifetimeLUT | None,
+    engine: str,
+    plan: TracePlan | None,
+) -> list[SimulationResult]:
+    """Simulate combos in order, batching breakeven-only groups.
+
+    The reference engine has no plan/batch fast path, so it (and any
+    grid without a breakeven axis) falls back to per-point dispatch.
+    """
+    if engine == "reference" or group_ids is None:
+        return [
+            simulate(
+                replace(base, **dict(zip(names, combo))),
+                trace,
+                lut,
+                engine=engine,
+                plan=plan,
+            )
+            for combo in combos
+        ]
+    groups: dict[int, list[int]] = {}
+    for position, group_id in enumerate(group_ids):
+        groups.setdefault(group_id, []).append(position)
+    results: list[SimulationResult | None] = [None] * len(combos)
+    for members in groups.values():
+        configs = [
+            replace(base, **dict(zip(names, combos[position])))
+            for position in members
+        ]
+        for position, result in zip(
+            members, run_breakeven_group(configs, trace, lut=lut, plan=plan)
+        ):
+            results[position] = result
     return results
+
+
+def _chunk_payloads(
+    base: ArchitectureConfig,
+    names: list[str],
+    combos: list[tuple],
+    group_ids: list[int] | None,
+    engine: str,
+    workers: int,
+) -> list[tuple]:
+    """Contiguous chunk payloads for the worker pool.
+
+    Deliberately trace-free: a payload is (base config, axis names, the
+    chunk's combos and group ids, engine) — a few hundred bytes no
+    matter how long the trace is. Tests pin this with a pickle-size
+    assertion.
+    """
+    chunk_size = -(-len(combos) // workers)  # ceil division
+    payloads = []
+    for start in range(0, len(combos), chunk_size):
+        chunk = combos[start : start + chunk_size]
+        ids = (
+            group_ids[start : start + chunk_size] if group_ids is not None else None
+        )
+        payloads.append((base, names, chunk, ids, engine))
+    return payloads
 
 
 def sweep(
@@ -130,7 +246,9 @@ def sweep(
     parallel:
         Fan the grid out over up to this many worker processes
         (contiguous chunks, results reassembled in deterministic grid
-        order). ``None`` or ``1`` runs serially.
+        order). ``None`` or ``1`` runs serially. The trace and LUT are
+        shipped once per worker via the pool initializer; chunk
+        payloads carry only parameter combinations.
 
     >>> # doctest-style sketch (not executed here):
     >>> # result = sweep(cfg, trace, {"num_banks": [2, 4, 8]}, parallel=4)
@@ -145,25 +263,29 @@ def sweep(
             )
     if parallel is not None and parallel < 1:
         raise ConfigurationError("parallel must be a positive worker count")
+    # Validate up front: the breakeven-grouped path never reaches
+    # simulate()'s own engine check, and a typo'd engine must not
+    # silently fall through to the fast engine.
+    validate_engine(engine)
     shared_lut = lut if lut is not None else LifetimeLUT.default()
 
     names = list(axes)
     combos = list(itertools.product(*(axes[name] for name in names)))
+    group_ids = _breakeven_group_ids(names, axes)
     workers = min(parallel or 1, len(combos))
     if workers > 1:
-        chunk_size = -(-len(combos) // workers)  # ceil division
-        chunks = [
-            combos[start : start + chunk_size]
-            for start in range(0, len(combos), chunk_size)
-        ]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            chunked = pool.map(
-                _simulate_chunk,
-                [(base, trace, names, chunk, shared_lut, engine) for chunk in chunks],
-            )
+        payloads = _chunk_payloads(base, names, combos, group_ids, engine, workers)
+        with ProcessPoolExecutor(
+            max_workers=len(payloads),
+            initializer=_init_worker,
+            initargs=(trace, shared_lut),
+        ) as pool:
+            chunked = pool.map(_simulate_chunk, payloads)
             results = [result for chunk in chunked for result in chunk]
     else:
-        results = _simulate_chunk((base, trace, names, combos, shared_lut, engine))
+        results = _simulate_combos(
+            base, trace, names, combos, group_ids, shared_lut, engine, TracePlan(trace)
+        )
     points = tuple(
         SweepPoint(parameters=dict(zip(names, combo)), result=result)
         for combo, result in zip(combos, results)

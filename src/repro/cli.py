@@ -11,9 +11,15 @@ Commands reproduce the paper's artifacts from the terminal::
     repro arch              # structural summary / overhead report
     repro policies          # probing vs scrambling uniformity convergence
     repro profile <bench>   # characterize a synthetic workload
+    repro sweep             # design-space sweep on one workload
 
 ``--quick`` runs a reduced benchmark set with shorter traces — useful
 for smoke checks; the full run takes a couple of minutes.
+
+``repro sweep`` exercises the shared trace-plan sweep engine: one
+decode/sort of the trace feeds every grid point, a breakeven axis is
+batched into single gap computations, and ``--parallel N`` fans chunks
+out over processes without re-pickling the trace per chunk.
 """
 
 from __future__ import annotations
@@ -139,6 +145,87 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.sweep import sweep
+    from repro.cache.geometry import CacheGeometry
+    from repro.core.config import ArchitectureConfig
+    from repro.trace.generator import WorkloadGenerator
+    from repro.trace.mediabench import profile_for
+
+    if args.updates < 1:
+        print("error: --updates must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        bank_axis = [int(v) for v in args.banks.split(",")]
+        breakeven_axis = (
+            [int(v) for v in args.breakevens.split(",")] if args.breakevens else None
+        )
+    except ValueError:
+        print(
+            "error: --banks and --breakevens take comma-separated integers",
+            file=sys.stderr,
+        )
+        return 2
+    geometry = CacheGeometry(args.size * 1024, args.line_size)
+    trace = WorkloadGenerator(
+        geometry, num_windows=args.windows, master_seed=args.seed
+    ).generate(profile_for(args.benchmark))
+    if args.updates >= trace.horizon:
+        print(
+            f"error: --updates {args.updates} exceeds the trace horizon "
+            f"({trace.horizon:,} cycles); use fewer updates or more --windows",
+            file=sys.stderr,
+        )
+        return 2
+    axes: dict[str, list] = {
+        "num_banks": bank_axis,
+        "policy": args.policies.split(","),
+    }
+    if breakeven_axis is not None:
+        axes["breakeven_override"] = breakeven_axis
+    from repro.errors import ReproError
+
+    start = time.perf_counter()
+    try:
+        base = ArchitectureConfig(
+            geometry,
+            num_banks=axes["num_banks"][0],
+            policy="static",
+            update_period_cycles=trace.horizon // args.updates,
+        )
+        result = sweep(base, trace, axes, engine=args.engine, parallel=args.parallel)
+    except ReproError as error:
+        # e.g. --banks 1 with a dynamic policy axis, or a non-power-of-two
+        # bank count: surface the validation message, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    seconds = time.perf_counter() - start
+
+    print(
+        f"{args.benchmark}: {len(trace):,} accesses, "
+        f"{trace.horizon:,} cycles, {len(result)} points"
+    )
+    print(f"{'banks':>5} {'policy':>11} {'breakeven':>9} "
+          f"{'hit-rate':>8} {'Esav':>7} {'LT':>7}")
+    for point in result:
+        breakeven = point.parameters.get("breakeven_override", "auto")
+        r = point.result
+        print(
+            f"{point.parameters['num_banks']:>5} "
+            f"{point.parameters['policy']:>11} "
+            f"{str(breakeven):>9} "
+            f"{r.hit_rate:>8.2%} {r.energy_savings:>7.2%} "
+            f"{r.lifetime_years:>6.2f}y"
+        )
+    best = result.best("lifetime_years")
+    print(f"best lifetime: {best.value('lifetime_years'):.2f}y at {best.parameters}")
+    print(f"swept {len(result)} points in {seconds:.2f}s "
+          f"({len(result) / seconds:.1f} points/s)")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.cache.geometry import CacheGeometry
     from repro.trace.generator import WorkloadGenerator
@@ -191,6 +278,35 @@ def main(argv: list[str] | None = None) -> int:
     p_prof.add_argument("benchmark", help="benchmark name (e.g. adpcm.dec)")
     p_prof.add_argument("--size", type=int, default=16, help="cache size in kB")
 
+    p_sweep = sub.add_parser(
+        "sweep", help="design-space sweep (shared trace-plan engine)"
+    )
+    p_sweep.add_argument(
+        "--benchmark", default="dijkstra", help="workload profile to sweep on"
+    )
+    p_sweep.add_argument("--size", type=int, default=16, help="cache size in kB")
+    p_sweep.add_argument("--line-size", type=int, default=16, help="line size in bytes")
+    p_sweep.add_argument(
+        "--banks", default="2,4,8", help="comma-separated num_banks axis"
+    )
+    p_sweep.add_argument(
+        "--policies", default="static,probing", help="comma-separated policy axis"
+    )
+    p_sweep.add_argument(
+        "--breakevens",
+        default="",
+        help="comma-separated breakeven_override axis (empty: computed breakeven)",
+    )
+    p_sweep.add_argument(
+        "--updates", type=int, default=16, help="re-indexing updates over the trace"
+    )
+    p_sweep.add_argument(
+        "--windows", type=int, default=200, help="workload schedule windows"
+    )
+    p_sweep.add_argument(
+        "--parallel", type=int, default=None, help="worker processes for the grid"
+    )
+
     args = parser.parse_args(argv)
     if args.command in _TABLES:
         return _cmd_table(args.command, args)
@@ -204,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_policies(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

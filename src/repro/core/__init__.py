@@ -9,13 +9,16 @@ management + dynamic indexing + aging, driven by traces.
 * :mod:`repro.core.simulator` — the cycle-faithful reference engine;
 * :mod:`repro.core.fastsim` — the vectorized numpy engine (identical
   results, orders of magnitude faster);
+* :mod:`repro.core.plan` — :class:`TracePlan`, memoized per-trace state
+  shared across sweep points;
 * :mod:`repro.core.results` — :class:`SimulationResult` with energy,
   idleness, hit-rate and lifetime views.
 """
 
 from repro.core.architecture import ArchitectureSummary, summarize
 from repro.core.config import ArchitectureConfig
-from repro.core.fastsim import FastSimulator
+from repro.core.fastsim import FastSimulator, run_breakeven_group
+from repro.core.plan import TracePlan
 from repro.core.results import SimulationResult
 from repro.core.simulator import ENGINE_NAMES, ReferenceSimulator, simulate
 
@@ -26,6 +29,8 @@ __all__ = [
     "ENGINE_NAMES",
     "ReferenceSimulator",
     "FastSimulator",
+    "TracePlan",
+    "run_breakeven_group",
     "SimulationResult",
     "simulate",
 ]

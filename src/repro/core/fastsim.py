@@ -8,9 +8,12 @@ re-indexing epochs with numpy:
 * routing: the logical→physical permutation is constant within an
   epoch, so ``physical = mapping[logical]`` is a single ``take``;
 * idleness: the sleep rule only looks at per-bank access-cycle gaps,
-  and banks sleep straight through mapping changes, so per-bank stats
-  come from one :func:`~repro.power.idleness.stats_from_access_cycles`
-  call per bank over the whole run;
+  and banks sleep straight through mapping changes, so all banks' stats
+  come from one
+  :func:`~repro.power.idleness.batch_stats_from_sorted_accesses` pass
+  over the bank-sorted stream (held to the per-bank
+  :func:`~repro.power.idleness.stats_from_access_cycles` oracle by the
+  tests);
 * hits/misses: within an epoch the mapping is a bijection on banks and
   the line-in-bank bits pass through unchanged, so the physical set of
   an access is identified by its logical set index; sorting accesses by
@@ -19,20 +22,28 @@ re-indexing epochs with numpy:
   adjacent-tag comparison; set-associative caches run a lockstep LRU
   stack simulation over the set-groups (:meth:`FastSimulator._epoch_hits_lru`).
   Epochs start cold (the update flushed).
+
+Across a sweep, everything breakeven-independent — decode, epoch
+bracketing, hit counts, the bank sort — is shared between points through
+:class:`repro.core.plan.TracePlan`, and :func:`run_breakeven_group`
+evaluates a whole ``breakeven_override`` axis from one gap computation.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 
 from repro.cache.stats import CacheStats
 from repro.core.config import ArchitectureConfig
+from repro.core.plan import TracePlan, ensure_plan
 from repro.core.results import SimulationResult
 from repro.core.simulator import _effective_breakeven, _finish
 from repro.aging.lut import LifetimeLUT
-from repro.power.idleness import stats_from_access_cycles
+from repro.errors import SimulationError
+from repro.power.idleness import batch_stats_from_gaps
 from repro.trace.trace import Trace
-from repro.utils.bitops import log2_exact, mask
 
 
 class FastSimulator:
@@ -44,11 +55,23 @@ class FastSimulator:
         Architecture to simulate.
     lut:
         Lifetime lookup table; defaults to the shared calibrated one.
+    plan:
+        Optional shared :class:`~repro.core.plan.TracePlan`. When given,
+        the decode, epoch boundaries, bank sort and hit counts are read
+        from (and grown into) the plan's caches; when omitted a private
+        plan is built per :meth:`run` call. Results are identical either
+        way.
     """
 
-    def __init__(self, config: ArchitectureConfig, lut: LifetimeLUT | None = None) -> None:
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        lut: LifetimeLUT | None = None,
+        plan: TracePlan | None = None,
+    ) -> None:
         self.config = config
         self.lut = lut
+        self.plan = plan
 
     # ------------------------------------------------------------------
     def _epoch_boundaries(self, trace: Trace) -> np.ndarray:
@@ -57,12 +80,12 @@ class FastSimulator:
         The reference engine drains due updates lazily, right before the
         first access at or after each boundary; boundaries after the
         last access never fire. The returned array contains the firing
-        boundaries in order.
+        boundaries in order. Thin view over
+        :meth:`~repro.core.plan.TracePlan.epoch_starts` — the single
+        implementation of schedule bracketing.
         """
-        schedule = self.config.make_update_schedule()
-        if len(trace) == 0:
-            return np.empty(0, dtype=np.int64)
-        return schedule.boundaries_up_to(int(trace.cycles[-1]))
+        boundaries, _ = ensure_plan(self.plan, trace).epoch_starts(self.config)
+        return boundaries
 
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate ``trace`` and return the measurement record.
@@ -72,93 +95,7 @@ class FastSimulator:
         stack simulation of :meth:`_epoch_hits_lru`. Both agree exactly
         with :class:`~repro.core.simulator.ReferenceSimulator`.
         """
-        config = self.config
-        geometry = config.geometry
-        ways = geometry.ways
-        num_banks = config.num_banks
-        p_bits = log2_exact(num_banks)
-        line_bits = geometry.index_bits - p_bits
-
-        cycles = trace.cycles
-        index = (trace.addresses >> geometry.offset_bits) & mask(geometry.index_bits)
-        tag = trace.addresses >> (geometry.offset_bits + geometry.index_bits)
-        logical_bank = index >> line_bits
-
-        boundaries = self._epoch_boundaries(trace)
-        starts = np.concatenate(
-            ([0], np.searchsorted(cycles, boundaries, side="left"), [len(trace)])
-        )
-        num_epochs = len(starts) - 1
-
-        policy = config.make_policy()
-        physical = np.empty(len(trace), dtype=np.int64)
-        hits = 0
-        flush_invalidations = 0
-
-        if ways == 1:
-            touched_before_flush = 0
-            for epoch in range(num_epochs):
-                if epoch > 0:
-                    policy.update()
-                    flush_invalidations += touched_before_flush
-                lo, hi = int(starts[epoch]), int(starts[epoch + 1])
-                if lo == hi:
-                    touched_before_flush = 0
-                    continue
-                mapping = policy.mapping()
-                physical[lo:hi] = mapping[logical_bank[lo:hi]]
-                epoch_hits, epoch_lines = self._epoch_hits(index[lo:hi], tag[lo:hi])
-                hits += epoch_hits
-                touched_before_flush = epoch_lines
-        else:
-            # Set-associative: the epoch loop only applies the routing
-            # permutation; hits come from one lockstep LRU pass over
-            # all (epoch, set) groups at once.
-            for epoch in range(num_epochs):
-                if epoch > 0:
-                    policy.update()
-                lo, hi = int(starts[epoch]), int(starts[epoch + 1])
-                if lo == hi:
-                    continue
-                mapping = policy.mapping()
-                physical[lo:hi] = mapping[logical_bank[lo:hi]]
-            if len(trace):
-                num_sets = geometry.num_sets
-                epoch_of = np.repeat(np.arange(num_epochs), np.diff(starts))
-                hits, lines_per_group, group_keys = self._grouped_lru(
-                    epoch_of * num_sets + index, tag, ways
-                )
-                lines_per_epoch = np.zeros(num_epochs, dtype=np.int64)
-                np.add.at(lines_per_epoch, group_keys // num_sets, lines_per_group)
-                # Each boundary flush drops whatever lines the epoch it
-                # closes left valid; the final epoch is never flushed.
-                flush_invalidations = int(lines_per_epoch[:-1].sum())
-        misses = len(trace) - hits
-
-        # Per-bank idleness over the whole run (sleep is oblivious to
-        # mapping changes; only the physical access stream matters).
-        breakeven = _effective_breakeven(config, trace.horizon)
-        bank_stats = []
-        order = np.argsort(physical[: len(trace)], kind="stable")
-        sorted_banks = physical[order]
-        sorted_cycles = cycles[order]
-        splits = np.searchsorted(sorted_banks, np.arange(num_banks + 1))
-        for bank in range(num_banks):
-            bank_cycles = sorted_cycles[splits[bank] : splits[bank + 1]]
-            bank_stats.append(
-                stats_from_access_cycles(bank_cycles, breakeven, 0, trace.horizon)
-            )
-
-        cache_stats = CacheStats(hits=hits, misses=misses, flushes=len(boundaries))
-        return _finish(
-            config,
-            trace,
-            bank_stats,
-            cache_stats,
-            policy.updates_applied,
-            flush_invalidations,
-            self.lut,
-        )
+        return run_breakeven_group([self.config], trace, lut=self.lut, plan=self.plan)[0]
 
     @staticmethod
     def _epoch_hits(index: np.ndarray, tag: np.ndarray) -> tuple[int, int]:
@@ -264,4 +201,108 @@ class FastSimulator:
                 live[rotate, way] = live[rotate, way - 1]
             live[:, 0] = current
         return hits, lines_per_group, group_keys
+
+
+def _functional_counts(
+    index: np.ndarray, tag: np.ndarray, starts: np.ndarray, ways: int, num_sets: int
+) -> tuple[int, int]:
+    """(hits, flush_invalidations) over all cold-started epochs.
+
+    Pure function of the decode, the epoch bracketing and the set
+    geometry — deliberately independent of bank count, policy and power
+    management, which is what lets sweeps share it across those axes.
+    """
+    num_epochs = len(starts) - 1
+    if ways == 1:
+        hits = 0
+        flush_invalidations = 0
+        for epoch in range(num_epochs):
+            lo, hi = int(starts[epoch]), int(starts[epoch + 1])
+            if lo == hi:
+                continue
+            epoch_hits, epoch_lines = FastSimulator._epoch_hits(
+                index[lo:hi], tag[lo:hi]
+            )
+            hits += epoch_hits
+            # Each boundary flush drops whatever lines the epoch it
+            # closes left valid; the final epoch is never flushed.
+            if epoch < num_epochs - 1:
+                flush_invalidations += epoch_lines
+        return hits, flush_invalidations
+    if int(starts[-1]) == 0:
+        return 0, 0
+    epoch_of = np.repeat(np.arange(num_epochs), np.diff(starts))
+    hits, lines_per_group, group_keys = FastSimulator._grouped_lru(
+        epoch_of * num_sets + index, tag, ways
+    )
+    lines_per_epoch = np.zeros(num_epochs, dtype=np.int64)
+    np.add.at(lines_per_epoch, group_keys // num_sets, lines_per_group)
+    return int(hits), int(lines_per_epoch[:-1].sum())
+
+
+def run_breakeven_group(
+    configs,
+    trace: Trace,
+    lut: LifetimeLUT | None = None,
+    plan: TracePlan | None = None,
+) -> list[SimulationResult]:
+    """Simulate configs that differ only in ``breakeven_override``.
+
+    The breakeven time only enters the per-bank idleness thresholding,
+    so the whole group shares one decode, one epoch bracketing, one
+    hit/miss computation and one bank sort; the batched idleness kernel
+    then evaluates every breakeven from a single gap computation.
+    Returns one :class:`~repro.core.results.SimulationResult` per
+    config, in order, each bit-identical to an independent
+    :meth:`FastSimulator.run`.
+    """
+    if not configs:
+        return []
+    base = configs[0]
+    for other in configs[1:]:
+        if replace(other, breakeven_override=base.breakeven_override) != base:
+            raise SimulationError(
+                "breakeven group configs must differ only in breakeven_override"
+            )
+    plan = ensure_plan(plan, trace)
+
+    geometry = base.geometry
+    index, tag = plan.decode(geometry.offset_bits, geometry.index_bits)
+    boundaries, starts = plan.epoch_starts(base)
+    hits, flush_invalidations = plan.cached(
+        (
+            "hits",
+            geometry.offset_bits,
+            geometry.index_bits,
+            geometry.ways,
+            plan.schedule_key(base),
+        ),
+        lambda: _functional_counts(index, tag, starts, geometry.ways, geometry.num_sets),
+    )
+    # Per-bank idleness over the whole run (sleep is oblivious to
+    # mapping changes; only the physical access stream matters). The
+    # breakeven-independent gap structure is cached per routing, so
+    # even *separate* groups sharing a routing (e.g. a power_managed
+    # or technology axis) pay for the sort-and-gap pass once.
+    gaps = plan.idle_gaps(base)
+    breakevens = [_effective_breakeven(config, trace.horizon) for config in configs]
+    stats_batch = batch_stats_from_gaps(gaps, breakevens)
+
+    misses = len(trace) - hits
+    updates_applied = len(boundaries)
+    results = []
+    for config, bank_stats in zip(configs, stats_batch):
+        cache_stats = CacheStats(hits=hits, misses=misses, flushes=len(boundaries))
+        results.append(
+            _finish(
+                config,
+                trace,
+                bank_stats,
+                cache_stats,
+                updates_applied,
+                flush_invalidations,
+                lut,
+            )
+        )
+    return results
 

@@ -1,0 +1,248 @@
+"""Shared per-trace precomputation: the *trace plan*.
+
+A design-space sweep simulates one trace under dozens of configurations,
+and most of the per-point work is identical across the grid: the address
+decode depends only on the geometry's bit split, the re-indexing epoch
+boundaries only on the update schedule, and the bank-sorted access
+stream only on the routing (bank count × policy × schedule). A
+:class:`TracePlan` memoizes each of those layers keyed by exactly the
+configuration fields it depends on, so e.g. a ``breakeven_override``
+axis reuses *everything* and a ``policy`` axis still reuses the decode
+and the epoch boundaries.
+
+The plan is engine-agnostic shared state:
+:class:`~repro.core.fastsim.FastSimulator` (and, for the decode layer,
+:class:`~repro.finegrain.sim.FineGrainSimulator`) accept one and build a
+private plan when none is given — sharing is an optimization, never a
+requirement, and every cached layer is a pure function of (trace, key),
+so results are bit-identical with or without sharing. Plans live per
+process: the parallel sweep ships the trace once per worker through the
+pool initializer and each worker grows its own plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.power.idleness import IdleGapStructure, idle_gaps_from_sorted_accesses
+from repro.trace.trace import Trace
+from repro.utils.bitops import log2_exact, mask
+
+
+@dataclass(frozen=True)
+class BankOrder:
+    """The bank-sorted view of one routed access stream.
+
+    Only the projection idleness accounting actually consumes is
+    retained — keeping the full ``physical``/``order`` permutation
+    arrays per routing would dominate the plan's memory on long traces
+    (they are cheap to recompute from the config when a caller needs
+    them, and ``sorted_banks`` is just
+    ``np.repeat(np.arange(num_banks), np.diff(splits))``).
+
+    Attributes
+    ----------
+    sorted_cycles:
+        The trace cycles reordered by (physical bank, arrival) — the
+        stable argsort of the routed stream.
+    splits:
+        Segment boundaries: bank ``b`` owns
+        ``sorted_cycles[splits[b]:splits[b + 1]]``.
+    """
+
+    sorted_cycles: np.ndarray
+    splits: np.ndarray
+
+
+class TracePlan:
+    """Memoized per-trace state shared across simulation points.
+
+    Parameters
+    ----------
+    trace:
+        The trace every consumer of this plan must simulate; engines
+        check with :meth:`matches` and refuse mismatched traces.
+    """
+
+    #: FIFO capacity of the per-routing idle-gap cache — the only layer
+    #: holding O(accesses) arrays per *routing* rather than per trace.
+    max_gap_routings: int = 8
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def matches(self, trace: Trace) -> bool:
+        """True when ``trace`` is the plan's trace (identity or equality)."""
+        mine = self.trace
+        if mine is trace:
+            return True
+        return (
+            len(mine) == len(trace)
+            and mine.horizon == trace.horizon
+            and bool(np.array_equal(mine.cycles, trace.cycles))
+            and bool(np.array_equal(mine.addresses, trace.addresses))
+        )
+
+    def cached(self, key, compute):
+        """Generic memoized section (used by the engines for their own
+        derived state, e.g. the fast engine's hit counts)."""
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = compute()
+            return value
+
+    def __len__(self) -> int:
+        """Number of cached sections (introspection/tests)."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def schedule_key(config) -> tuple | None:
+        """Hashable identity of the config's firing update schedule.
+
+        ``None`` means no updates ever fire (static indexing, or a
+        dynamic policy with neither a period nor explicit events).
+        """
+        if config.policy == "static":
+            return None
+        if config.update_events is not None:
+            return ("events", config.update_events)
+        if config.update_period_cycles is None:
+            return None
+        return ("period", config.update_period_cycles)
+
+    def decode(self, offset_bits: int, index_bits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(index, tag)`` arrays for a geometry's bit split."""
+
+        def compute():
+            addresses = self.trace.addresses
+            index = (addresses >> offset_bits) & mask(index_bits)
+            tag = addresses >> (offset_bits + index_bits)
+            return index, tag
+
+        return self.cached(("decode", offset_bits, index_bits), compute)
+
+    def epoch_starts(self, config) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(boundaries, starts)`` of the firing update schedule.
+
+        ``boundaries`` are the update cycles that actually fire (those at
+        or before the last access); ``starts`` brackets each epoch's
+        accesses: epoch ``e`` owns trace positions
+        ``starts[e]:starts[e + 1]``.
+        """
+
+        def compute():
+            trace = self.trace
+            if len(trace) == 0:
+                boundaries = np.empty(0, dtype=np.int64)
+            else:
+                schedule = config.make_update_schedule()
+                boundaries = schedule.boundaries_up_to(int(trace.cycles[-1]))
+            starts = np.concatenate(
+                (
+                    [0],
+                    np.searchsorted(trace.cycles, boundaries, side="left"),
+                    [len(trace)],
+                )
+            )
+            return boundaries, starts
+
+        return self.cached(("epochs", self.schedule_key(config)), compute)
+
+    def _routing_key(self, kind: str, config) -> tuple:
+        """Cache key covering exactly what routing depends on."""
+        geometry = config.geometry
+        return (
+            kind,
+            geometry.offset_bits,
+            geometry.index_bits,
+            config.num_banks,
+            config.policy,
+            self.schedule_key(config),
+        )
+
+    def _compute_bank_order(self, config) -> BankOrder:
+        """Route the trace through ``config`` and sort by (bank, arrival).
+
+        With a single bank the stream is already sorted and the stable
+        argsort is skipped outright.
+        """
+        trace = self.trace
+        cycles = trace.cycles
+        n = len(trace)
+        geometry = config.geometry
+        num_banks = config.num_banks
+        if num_banks == 1:
+            return BankOrder(cycles, np.array([0, n], dtype=np.int64))
+        index, _ = self.decode(geometry.offset_bits, geometry.index_bits)
+        line_bits = geometry.index_bits - log2_exact(num_banks)
+        logical_bank = index >> line_bits
+        _, starts = self.epoch_starts(config)
+        policy = config.make_policy()
+        physical = np.empty(n, dtype=np.int64)
+        for epoch in range(len(starts) - 1):
+            if epoch > 0:
+                policy.update()
+            lo, hi = int(starts[epoch]), int(starts[epoch + 1])
+            if lo == hi:
+                continue
+            physical[lo:hi] = policy.mapping()[logical_bank[lo:hi]]
+        order = np.argsort(physical, kind="stable")
+        sorted_banks = physical[order]
+        sorted_cycles = cycles[order]
+        splits = np.searchsorted(sorted_banks, np.arange(num_banks + 1))
+        return BankOrder(sorted_cycles, splits)
+
+    def bank_order(self, config) -> BankOrder:
+        """Routed-and-sorted access stream for a config's routing.
+
+        Ad-hoc convenience, computed fresh on each call (the decode and
+        epoch layers it builds on are still cached): the engines go
+        through :meth:`idle_gaps` instead, which retains only the much
+        smaller per-routing gap structure.
+        """
+        return self._compute_bank_order(config)
+
+    def idle_gaps(self, config) -> IdleGapStructure:
+        """Cached breakeven-independent idle-gap structure per routing.
+
+        This is the layer the fast engine's idleness accounting reads:
+        the bank sort is computed transiently (not retained) and only
+        the gap structure — the part every breakeven re-thresholds — is
+        kept. The cache holds at most :attr:`max_gap_routings`
+        structures (FIFO eviction), bounding plan memory on grids with
+        many routings; eviction only costs a re-sort if an old routing
+        recurs, never correctness.
+        """
+        key = self._routing_key("gaps", config)
+
+        def compute():
+            route = self._compute_bank_order(config)
+            return idle_gaps_from_sorted_accesses(
+                route.sorted_cycles, route.splits, 0, self.trace.horizon
+            )
+
+        gaps = self.cached(key, compute)
+        gap_keys = [
+            k for k in self._cache if isinstance(k, tuple) and k and k[0] == "gaps"
+        ]
+        if len(gap_keys) > self.max_gap_routings:
+            for stale in gap_keys[: len(gap_keys) - self.max_gap_routings]:
+                if stale != key:
+                    del self._cache[stale]
+        return gaps
+
+
+def ensure_plan(plan: TracePlan | None, trace: Trace) -> TracePlan:
+    """The plan to use for ``trace``: validate a given one, else build one."""
+    if plan is None:
+        return TracePlan(trace)
+    if not plan.matches(trace):
+        raise SimulationError("trace plan was built for a different trace")
+    return plan

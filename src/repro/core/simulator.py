@@ -121,11 +121,24 @@ class ReferenceSimulator:
 ENGINE_NAMES: tuple[str, ...] = ("auto", "fast", "reference")
 
 
+def validate_engine(engine: str) -> None:
+    """Raise ``ValueError`` for engine names not in :data:`ENGINE_NAMES`.
+
+    Shared by :func:`simulate` and the sweep front-end so a typo'd
+    engine fails identically on every path.
+    """
+    if engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
+        )
+
+
 def simulate(
     config: ArchitectureConfig,
     trace: Trace,
     lut: LifetimeLUT | None = None,
     engine: str = "auto",
+    plan=None,
 ) -> SimulationResult:
     """Convenience front-end: run ``trace`` on ``config``.
 
@@ -140,13 +153,15 @@ def simulate(
       direct-mapped and set-associative geometries.
     * ``"fast"`` — force the vectorized engine.
     * ``"reference"`` — force the event-by-event behavioral engine.
+
+    ``plan`` is an optional shared :class:`~repro.core.plan.TracePlan`
+    for ``trace``; the vectorized engine reads its memoized decode/sort
+    state from it (the reference engine ignores it). Results are
+    identical with or without a plan.
     """
+    validate_engine(engine)
     if engine == "reference":
         return ReferenceSimulator(config, lut).run(trace)
-    if engine in ("auto", "fast"):
-        from repro.core.fastsim import FastSimulator
+    from repro.core.fastsim import FastSimulator
 
-        return FastSimulator(config, lut).run(trace)
-    raise ValueError(
-        f"unknown engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
-    )
+    return FastSimulator(config, lut, plan=plan).run(trace)

@@ -7,6 +7,9 @@ configuration. Everything funnels through :meth:`ExperimentRunner.run`,
 which dispatches through :func:`~repro.core.simulator.simulate` with
 the engine named by :attr:`ExperimentSettings.engine` (``auto`` by
 default), so any geometry — including set-associative ones — works.
+Each cached trace also carries a shared
+:class:`~repro.core.plan.TracePlan`, so the many configurations run on
+one benchmark reuse its decode/sort state instead of recomputing it.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.aging.lut import LifetimeLUT
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import ArchitectureConfig
+from repro.core.plan import TracePlan
 from repro.core.results import SimulationResult
 from repro.core.simulator import simulate
 from repro.experiments.suite import ExperimentSettings, TraceCache
@@ -37,6 +41,11 @@ class ExperimentRunner:
     lut: LifetimeLUT | None = None
     _traces: TraceCache = field(default=None)  # type: ignore[assignment]
     _results: dict = field(default_factory=dict)
+    # One TracePlan per cached trace, keyed like the TraceCache itself
+    # (benchmark, geometry) — a stale plan can then never outlive its
+    # trace unnoticed: a regenerated trace gets a fresh plan via the
+    # matches() check below.
+    _plans: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self._traces is None:
@@ -80,8 +89,12 @@ class ExperimentRunner:
                 size_bytes, line_bytes, num_banks, policy, power_managed
             )
             trace = self._traces.get(benchmark, config.geometry)
+            plan_key = (benchmark, config.geometry)
+            plan = self._plans.get(plan_key)
+            if plan is None or not plan.matches(trace):
+                plan = self._plans[plan_key] = TracePlan(trace)
             self._results[key] = simulate(
-                config, trace, self.lut, engine=self.settings.engine
+                config, trace, self.lut, engine=self.settings.engine, plan=plan
             )
         return self._results[key]
 
@@ -103,6 +116,7 @@ class ExperimentRunner:
         )
 
     def clear(self) -> None:
-        """Drop cached traces and results."""
+        """Drop cached traces, plans and results."""
         self._traces.clear()
         self._results.clear()
+        self._plans.clear()

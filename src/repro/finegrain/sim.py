@@ -24,10 +24,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aging.lut import LifetimeLUT
+from repro.core.plan import TracePlan, ensure_plan
 from repro.finegrain.model import FineGrainConfig
 from repro.hw.lfsr import GaloisLFSR
+from repro.power.idleness import idle_gaps_from_sorted_accesses
 from repro.trace.trace import Trace
-from repro.utils.bitops import mask
 
 
 @dataclass(frozen=True)
@@ -78,11 +79,22 @@ class FineGrainResult:
 
 
 class FineGrainSimulator:
-    """Trace-driven simulator for :class:`FineGrainConfig`."""
+    """Trace-driven simulator for :class:`FineGrainConfig`.
 
-    def __init__(self, config: FineGrainConfig, lut: LifetimeLUT | None = None) -> None:
+    An optional shared :class:`~repro.core.plan.TracePlan` supplies the
+    cached address decode (the layer this simulator has in common with
+    the banked engines); results are identical with or without one.
+    """
+
+    def __init__(
+        self,
+        config: FineGrainConfig,
+        lut: LifetimeLUT | None = None,
+        plan: TracePlan | None = None,
+    ) -> None:
         self.config = config
         self.lut = lut if lut is not None else LifetimeLUT.default()
+        self.plan = plan
 
     # ------------------------------------------------------------------
     def _remap_epochs(self, index: np.ndarray, cycles: np.ndarray):
@@ -127,8 +139,8 @@ class FineGrainSimulator:
         breakeven = config.breakeven()
         horizon = trace.horizon
 
-        index = (trace.addresses >> geometry.offset_bits) & mask(geometry.index_bits)
-        tag = trace.addresses >> (geometry.offset_bits + geometry.index_bits)
+        plan = ensure_plan(self.plan, trace)
+        index, tag = plan.decode(geometry.offset_bits, geometry.index_bits)
 
         physical = np.empty(len(trace), dtype=np.int64)
         hits = 0
@@ -188,47 +200,21 @@ def _per_line_sleep(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-line (sleep cycles, transitions, accesses), fully vectorized.
 
-    Gap semantics match :class:`repro.power.idleness.IdlenessAccountant`:
-    lines are busy at cycle -1 (so the leading gap is ``first_cycle``)
-    and the trailing gap runs to ``horizon``.
+    A line here is a "bank" of the shared
+    :func:`~repro.power.idleness.idle_gaps_from_sorted_accesses` kernel,
+    so the interior/leading/trailing/never-touched gap semantics (busy
+    at cycle -1, trailing gap to ``horizon``) exist in exactly one
+    place. Accumulation is integer throughout, so huge horizons stay
+    exact.
     """
-    accesses = np.bincount(physical, minlength=num_lines).astype(np.int64)
-    if physical.size == 0:
-        gap = np.int64(horizon)
-        sleep_value = max(0, int(gap) - breakeven)
-        sleep = np.full(num_lines, sleep_value, dtype=np.int64)
-        transitions = np.full(num_lines, 1 if sleep_value > 0 else 0, dtype=np.int64)
-        return sleep, transitions, accesses
-
     order = np.argsort(physical, kind="stable")
     lines_sorted = physical[order]
-    cycles_sorted = cycles[order]
+    splits = np.searchsorted(lines_sorted, np.arange(num_lines + 1))
+    gaps = idle_gaps_from_sorted_accesses(cycles[order], splits, 0, horizon)
 
-    # Interior gaps: between consecutive accesses of the same line.
-    same = lines_sorted[1:] == lines_sorted[:-1]
-    interior = (cycles_sorted[1:] - cycles_sorted[:-1] - 1)[same]
-    interior_lines = lines_sorted[1:][same]
-
-    # Leading and trailing gaps of occupied lines.
-    first_positions = np.searchsorted(lines_sorted, np.arange(num_lines), side="left")
-    last_positions = np.searchsorted(lines_sorted, np.arange(num_lines), side="right") - 1
-    occupied = accesses > 0
-    occupied_ids = np.nonzero(occupied)[0]
-    leading = cycles_sorted[first_positions[occupied_ids]]
-    trailing = horizon - cycles_sorted[last_positions[occupied_ids]] - 1
-
-    gap_values = np.concatenate([interior, leading, trailing])
-    gap_lines = np.concatenate([interior_lines, occupied_ids, occupied_ids])
-    useful = gap_values > breakeven
-    sleep = np.bincount(
-        gap_lines[useful],
-        weights=(gap_values[useful] - breakeven).astype(np.float64),
-        minlength=num_lines,
-    ).astype(np.int64)
-    transitions = np.bincount(gap_lines[useful], minlength=num_lines).astype(np.int64)
-
-    # Never-touched lines sleep for the whole horizon minus breakeven.
-    idle_sleep = max(0, horizon - breakeven)
-    sleep[~occupied] = idle_sleep
-    transitions[~occupied] = 1 if idle_sleep > 0 else 0
-    return sleep, transitions, accesses
+    useful = gaps.gap_values > breakeven
+    useful_lines = gaps.gap_banks[useful]
+    sleep = np.zeros(num_lines, dtype=np.int64)
+    np.add.at(sleep, useful_lines, gaps.gap_values[useful] - breakeven)
+    transitions = np.bincount(useful_lines, minlength=num_lines).astype(np.int64)
+    return sleep, transitions, gaps.accesses

@@ -23,6 +23,7 @@ from repro.power.energy import BankEnergyBreakdown, EnergyModel, TechnologyParam
 from repro.power.idleness import (
     BankIdleStats,
     IdlenessAccountant,
+    batch_stats_from_sorted_accesses,
     stats_from_access_cycles,
 )
 from repro.power.state import PowerState
@@ -32,6 +33,7 @@ __all__ = [
     "BankIdleStats",
     "IdlenessAccountant",
     "stats_from_access_cycles",
+    "batch_stats_from_sorted_accesses",
     "BlockControl",
     "breakeven_cycles",
     "EnergyModel",

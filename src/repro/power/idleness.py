@@ -6,12 +6,20 @@ intervals longer than the breakeven time count, and for each such
 interval the bank is asleep once the Block Control counter saturates —
 i.e. for ``gap - breakeven`` of the ``gap`` idle cycles.
 
-Two implementations are provided and tested against each other:
+Three implementations are provided and tested against each other:
 
 * :class:`IdlenessAccountant` — incremental, used by the reference
   simulator (one update per access);
 * :func:`stats_from_access_cycles` — vectorized over a whole epoch of
-  per-bank access cycles, used by the fast simulator.
+  one bank's access cycles; the differential oracle for the batched
+  kernel;
+* :func:`idle_gaps_from_sorted_accesses` + :func:`batch_stats_from_gaps`
+  — all banks at once from the bank-sorted access stream, broadcast
+  over a *vector* of breakeven values so a breakeven sweep axis costs
+  one gap computation. The fast simulator caches the gap structure per
+  routing (via :meth:`repro.core.plan.TracePlan.idle_gaps`) and calls
+  the thresholding half; :func:`batch_stats_from_sorted_accesses`
+  composes the two for one-shot use.
 """
 
 from __future__ import annotations
@@ -221,3 +229,147 @@ def stats_from_access_cycles(
         transitions=int(useful.size),
         total_cycles=int(end_cycle - start_cycle),
     )
+
+
+@dataclass(frozen=True)
+class IdleGapStructure:
+    """The breakeven-independent idle-gap view of a bank-sorted stream.
+
+    Extracting this is the only O(accesses) part of batched idleness
+    accounting; every breakeven value merely re-thresholds it. The fast
+    engine caches one per routing in the trace plan, so grids whose
+    points share a routing (breakeven, power-management or technology
+    axes) pay for the gap pass once.
+    """
+
+    num_banks: int
+    window: int
+    accesses: np.ndarray
+    gap_values: np.ndarray
+    gap_banks: np.ndarray
+    idle_intervals: np.ndarray
+    idle_cycles: np.ndarray
+
+
+def idle_gaps_from_sorted_accesses(
+    sorted_cycles: np.ndarray,
+    splits: np.ndarray,
+    start_cycle: int,
+    end_cycle: int,
+) -> IdleGapStructure:
+    """Extract every bank's idle gaps from the bank-sorted stream.
+
+    Parameters
+    ----------
+    sorted_cycles:
+        Access cycles sorted by (bank, arrival): bank ``b`` occupies the
+        slice ``sorted_cycles[splits[b]:splits[b + 1]]``, strictly
+        increasing within each slice.
+    splits:
+        Segment boundaries, length ``num_banks + 1`` with
+        ``splits[-1] == sorted_cycles.size``.
+    start_cycle, end_cycle:
+        Observation window ``[start_cycle, end_cycle)``.
+    """
+    cycles = np.asarray(sorted_cycles, dtype=np.int64)
+    splits = np.asarray(splits, dtype=np.int64)
+    num_banks = splits.size - 1
+    if num_banks < 1:
+        raise SimulationError("need at least one bank segment")
+    window = int(end_cycle - start_cycle)
+    if window < 0:
+        raise SimulationError("end_cycle precedes start_cycle")
+    accesses = np.diff(splits)
+    if np.any(accesses < 0) or int(splits[0]) != 0 or int(splits[-1]) != cycles.size:
+        raise SimulationError("splits do not partition the access stream")
+
+    occupied_ids = np.flatnonzero(accesses > 0)
+    empty_ids = np.flatnonzero(accesses == 0)
+    if cycles.size:
+        if cycles.min() < start_cycle or cycles.max() >= end_cycle:
+            raise SimulationError("access cycles outside the observation window")
+        bank_of = np.repeat(np.arange(num_banks), accesses)
+        same_bank = bank_of[1:] == bank_of[:-1]
+        deltas = np.diff(cycles)
+        if np.any(deltas[same_bank] <= 0):
+            raise SimulationError("access cycles must be strictly increasing")
+        interior = deltas[same_bank] - 1
+        interior_banks = bank_of[1:][same_bank]
+        leading = cycles[splits[occupied_ids]] - start_cycle
+        trailing = end_cycle - cycles[splits[occupied_ids + 1] - 1] - 1
+    else:
+        interior = np.empty(0, dtype=np.int64)
+        interior_banks = np.empty(0, dtype=np.int64)
+        leading = trailing = np.empty(0, dtype=np.int64)
+
+    # A never-accessed bank idles the whole window in one gap.
+    gap_values = np.concatenate(
+        [interior, leading, trailing, np.full(empty_ids.size, window, dtype=np.int64)]
+    )
+    gap_banks = np.concatenate([interior_banks, occupied_ids, occupied_ids, empty_ids])
+    positive = gap_values > 0
+    gap_values = gap_values[positive]
+    gap_banks = gap_banks[positive]
+
+    idle_intervals = np.bincount(gap_banks, minlength=num_banks)
+    idle_cycles = np.zeros(num_banks, dtype=np.int64)
+    np.add.at(idle_cycles, gap_banks, gap_values)
+    return IdleGapStructure(
+        num_banks=num_banks,
+        window=window,
+        accesses=accesses,
+        gap_values=gap_values,
+        gap_banks=gap_banks,
+        idle_intervals=idle_intervals,
+        idle_cycles=idle_cycles,
+    )
+
+
+def batch_stats_from_gaps(gaps: IdleGapStructure, breakevens) -> list[list[BankIdleStats]]:
+    """Threshold a gap structure at each breakeven: one stats list per
+    breakeven, one :class:`BankIdleStats` per bank. Integer-exact."""
+    num_banks = gaps.num_banks
+    batches: list[list[BankIdleStats]] = []
+    for breakeven in breakevens:
+        if breakeven < 1:
+            raise SimulationError("breakeven must be >= 1 cycle")
+        useful = gaps.gap_values > breakeven
+        useful_banks = gaps.gap_banks[useful]
+        useful_intervals = np.bincount(useful_banks, minlength=num_banks)
+        sleep_cycles = np.zeros(num_banks, dtype=np.int64)
+        np.add.at(sleep_cycles, useful_banks, gaps.gap_values[useful] - breakeven)
+        batches.append(
+            [
+                BankIdleStats(
+                    accesses=int(gaps.accesses[bank]),
+                    idle_intervals=int(gaps.idle_intervals[bank]),
+                    useful_intervals=int(useful_intervals[bank]),
+                    idle_cycles=int(gaps.idle_cycles[bank]),
+                    sleep_cycles=int(sleep_cycles[bank]),
+                    transitions=int(useful_intervals[bank]),
+                    total_cycles=gaps.window,
+                )
+                for bank in range(num_banks)
+            ]
+        )
+    return batches
+
+
+def batch_stats_from_sorted_accesses(
+    sorted_cycles: np.ndarray,
+    splits: np.ndarray,
+    breakevens,
+    start_cycle: int,
+    end_cycle: int,
+) -> list[list[BankIdleStats]]:
+    """All banks' idleness stats in one pass, for a vector of breakevens.
+
+    Convenience composition of :func:`idle_gaps_from_sorted_accesses`
+    and :func:`batch_stats_from_gaps`: the idle-gap structure is
+    computed once and each breakeven only re-thresholds it, so a
+    breakeven sweep axis costs one gap computation. Each returned list
+    is exactly equal to calling :func:`stats_from_access_cycles` per
+    bank slice (tests enforce it).
+    """
+    gaps = idle_gaps_from_sorted_accesses(sorted_cycles, splits, start_cycle, end_cycle)
+    return batch_stats_from_gaps(gaps, breakevens)

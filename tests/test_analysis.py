@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import itertools
+import pickle
+
 import pytest
 
 from repro.analysis.pareto import pareto_front
-from repro.analysis.sweep import sweep
+from repro.analysis.sweep import (
+    _breakeven_group_ids,
+    _chunk_payloads,
+    sweep,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import ArchitectureConfig
 from repro.errors import ConfigurationError
@@ -109,6 +116,63 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             sweep(base, trace, {"num_banks": [2]}, lut, parallel=0)
 
+    def test_rejects_unknown_engine_on_grouped_path(self, base_and_trace, lut):
+        """Regression: the breakeven-grouped fast path used to bypass
+        simulate()'s engine-name check, silently accepting typos."""
+        base, trace = base_and_trace
+        with pytest.raises(ValueError):
+            sweep(base, trace, {"breakeven_override": [5, 50]}, lut, engine="refrence")
+        with pytest.raises(ValueError):
+            sweep(base, trace, {"num_banks": [2]}, lut, engine="warp")
+
+
+class TestPlanSweep:
+    """The shared trace-plan fast path must stay invisible in results."""
+
+    def test_breakeven_axis_matches_reference_engine(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        axes = {
+            "num_banks": [2, 4],
+            "policy": ["static", "probing"],
+            "breakeven_override": [None, 5, 60, 700],
+        }
+        fast = sweep(base, trace, axes, lut)
+        reference = sweep(base, trace, axes, lut, engine="reference")
+        assert len(fast) == 16
+        for a, b in zip(fast, reference):
+            assert a.parameters == b.parameters
+            assert a.result.cache_stats.hits == b.result.cache_stats.hits
+            assert a.result.cache_stats.flushes == b.result.cache_stats.flushes
+            assert a.result.flush_invalidations == b.result.flush_invalidations
+            assert a.result.bank_stats == b.result.bank_stats
+            assert a.result.energy_pj == pytest.approx(b.result.energy_pj, rel=1e-12)
+            assert a.result.lifetime_years == pytest.approx(
+                b.result.lifetime_years, rel=1e-12
+            )
+
+    def test_breakeven_group_ids(self):
+        axes = {"num_banks": [2, 4], "breakeven_override": [1, 2, 3]}
+        ids = _breakeven_group_ids(list(axes), axes)
+        assert ids == [0, 0, 0, 3, 3, 3]
+        assert _breakeven_group_ids(["num_banks"], {"num_banks": [2, 4]}) is None
+
+    def test_chunk_payloads_exclude_trace(self, base_and_trace):
+        """The parallel fan-out must not re-pickle the trace per chunk:
+        payloads carry only the base config and parameter combos."""
+        base, trace = base_and_trace
+        axes = {"num_banks": [2, 4, 8], "breakeven_override": [10, 100]}
+        names = list(axes)
+        combos = list(itertools.product(*(axes[name] for name in names)))
+        payloads = _chunk_payloads(
+            base, names, combos, _breakeven_group_ids(names, axes), "auto", 3
+        )
+        assert sum(len(p[2]) for p in payloads) == len(combos)
+        trace_bytes = len(pickle.dumps(trace))
+        for payload in payloads:
+            payload_bytes = len(pickle.dumps(payload))
+            assert payload_bytes < 2048
+            assert payload_bytes < trace_bytes / 10
+
 
 class TestParallelSweep:
     def test_matches_serial_in_order_and_values(self, base_and_trace, lut):
@@ -126,6 +190,19 @@ class TestParallelSweep:
         base, trace = base_and_trace
         result = sweep(base, trace, {"num_banks": [2, 4]}, lut, parallel=16)
         assert len(result) == 2
+
+    def test_parallel_with_breakeven_axis(self, base_and_trace, lut):
+        """Breakeven grouping composes with the process fan-out (groups
+        split across chunk boundaries are simply re-batched per chunk)."""
+        base, trace = base_and_trace
+        axes = {"breakeven_override": [5, 60, 700], "num_banks": [2, 4]}
+        serial = sweep(base, trace, axes, lut)
+        parallel = sweep(base, trace, axes, lut, parallel=2)
+        assert [p.parameters for p in serial] == [p.parameters for p in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.result.bank_stats == b.result.bank_stats
+            assert a.result.energy_pj == b.result.energy_pj
+            assert a.result.lifetime_years == b.result.lifetime_years
 
 
 class TestPareto:

@@ -39,6 +39,34 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["--engine", "warp", "cell"])
 
+    def test_sweep_command(self, capsys):
+        assert main(
+            ["sweep", "--windows", "40", "--banks", "2,4", "--breakevens", "20,80"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 points" in out
+        assert "probing" in out
+        assert "best lifetime" in out
+        assert "points/s" in out
+
+    def test_sweep_rejects_bad_updates(self, capsys):
+        assert main(["sweep", "--updates", "0"]) == 2
+        assert "--updates must be >= 1" in capsys.readouterr().err
+        assert main(["sweep", "--windows", "40", "--updates", "999999999"]) == 2
+        assert "exceeds the trace horizon" in capsys.readouterr().err
+
+    def test_sweep_reports_invalid_grid_cleanly(self, capsys):
+        """--banks 1 with the default dynamic-policy axis is an invalid
+        grid point; the CLI must report it, not dump a traceback."""
+        assert main(["sweep", "--windows", "40", "--banks", "1"]) == 2
+        assert "at least two banks" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_axes(self, capsys):
+        assert main(["sweep", "--banks", "2,"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+        assert main(["sweep", "--breakevens", "5,x"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
     def test_engine_flag_accepted(self, capsys):
         """--engine threads through to the runner settings; the cheap
         cell command just checks the flag parses."""

@@ -116,6 +116,25 @@ class TestPerLineSleepAccounting:
         assert (sleep == 990).all()
         assert accesses.sum() == 0
 
+    def test_huge_horizon_integer_exact(self):
+        """Regression: sleep used to be accumulated through a
+        float64-weighted bincount, which rounds past 2**53 cycles.
+        Accumulation is integer now, so huge horizons stay exact."""
+        from repro.finegrain.sim import _per_line_sleep
+
+        horizon = 2**55
+        breakeven = 10
+        cycles = np.array([3, 2**54 + 1], dtype=np.int64)
+        index = np.array([0, 0], dtype=np.int64)
+        sleep, transitions, _ = _per_line_sleep(index, cycles, 2, breakeven, horizon)
+        gaps = [3, (2**54 + 1) - 3 - 1, horizon - (2**54 + 1) - 1]
+        expected = sum(g - breakeven for g in gaps if g > breakeven)
+        assert int(sleep[0]) == expected
+        assert int(transitions[0]) == 2
+        # The float64 path would have rounded: the exact value is odd.
+        assert expected % 2 == 1
+        assert int(sleep[1]) == horizon - breakeven
+
 
 class TestFineGrainSimulator:
     def test_static_is_a_drowsy_cache(self, workload, lut):
