@@ -19,7 +19,9 @@ The library implements the paper's complete stack from scratch:
 * synthetic **MediaBench-like workloads** calibrated to the paper's
   Table I — :mod:`repro.trace`;
 * the **experiment harness** regenerating Tables I-IV —
-  :mod:`repro.experiments`.
+  :mod:`repro.experiments`;
+* declarative, content-hashed **campaigns** with a resumable result
+  store — :mod:`repro.campaign`.
 
 Quickstart
 ----------
@@ -46,7 +48,19 @@ from repro.core import (
     summarize,
 )
 from repro.analysis import pareto_front, sweep
-from repro.core.serialize import load_results, save_results
+from repro.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    CampaignStore,
+    TraceSpec,
+    campaign_status,
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    register_trace_source,
+    run_campaign,
+)
+from repro.core.serialize import ResultRecord, load_results, save_results
 from repro.errors import ReproError
 from repro.experiments import ExperimentRunner, ExperimentSettings
 from repro.finegrain import FineGrainConfig, FineGrainSimulator
@@ -93,4 +107,15 @@ __all__ = [
     "profile_trace",
     "save_results",
     "load_results",
+    "ResultRecord",
+    "TraceSpec",
+    "register_trace_source",
+    "CampaignSpec",
+    "CampaignStore",
+    "CampaignResult",
+    "campaign_status",
+    "run_campaign",
+    "config_to_dict",
+    "config_from_dict",
+    "config_hash",
 ]

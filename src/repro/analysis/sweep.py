@@ -161,23 +161,30 @@ def _simulate_combos(
     lut: LifetimeLUT | None,
     engine: str,
     plan: TracePlan | None,
+    on_result=None,
 ) -> list[SimulationResult]:
     """Simulate combos in order, batching breakeven-only groups.
 
     The reference engine has no plan/batch fast path, so it (and any
     grid without a breakeven axis) falls back to per-point dispatch.
+    ``on_result(position, result)`` is invoked as soon as each point's
+    result exists (per point, or per breakeven group), which is what
+    lets a campaign persist finished work before the batch completes.
     """
     if engine == "reference" or group_ids is None:
-        return [
-            simulate(
+        results = []
+        for position, combo in enumerate(combos):
+            result = simulate(
                 replace(base, **dict(zip(names, combo))),
                 trace,
                 lut,
                 engine=engine,
                 plan=plan,
             )
-            for combo in combos
-        ]
+            results.append(result)
+            if on_result is not None:
+                on_result(position, result)
+        return results
     groups: dict[int, list[int]] = {}
     for position, group_id in enumerate(group_ids):
         groups.setdefault(group_id, []).append(position)
@@ -191,6 +198,8 @@ def _simulate_combos(
             members, run_breakeven_group(configs, trace, lut=lut, plan=plan)
         ):
             results[position] = result
+            if on_result is not None:
+                on_result(position, result)
     return results
 
 
@@ -218,6 +227,68 @@ def _chunk_payloads(
         )
         payloads.append((base, names, chunk, ids, engine))
     return payloads
+
+
+def simulate_selected(
+    base: ArchitectureConfig,
+    trace: Trace,
+    names: list[str],
+    combos: list[tuple],
+    group_ids: list[int] | None = None,
+    lut: LifetimeLUT | None = None,
+    engine: str = "auto",
+    parallel: int | None = None,
+    plan: TracePlan | None = None,
+    on_result=None,
+) -> list[SimulationResult]:
+    """Simulate an explicit list of grid points on one trace.
+
+    The reusable core of :func:`sweep`: ``combos`` need not be a full
+    cartesian product — the campaign layer passes only the points its
+    store is missing — yet every batching lever still applies: a shared
+    :class:`TracePlan`, the breakeven-group fast path (points sharing a
+    ``group_ids`` entry differ only in ``breakeven_override`` and are
+    evaluated from one gap computation), and the ``parallel`` process
+    fan-out with trace-free chunk payloads. Results come back in
+    ``combos`` order, bit-identical to per-point :func:`simulate` calls.
+
+    ``on_result(position, result)`` fires as results become available —
+    per point or breakeven group serially, per finished chunk in
+    parallel mode — so callers can persist progress incrementally
+    instead of waiting for the whole batch.
+    """
+    # Validate up front: the breakeven-grouped path never reaches
+    # simulate()'s own engine check, and a typo'd engine must not
+    # silently fall through to the fast engine.
+    validate_engine(engine)
+    if parallel is not None and parallel < 1:
+        raise ConfigurationError("parallel must be a positive worker count")
+    if not combos:
+        return []
+    shared_lut = lut if lut is not None else LifetimeLUT.default()
+    workers = min(parallel or 1, len(combos))
+    if workers > 1:
+        payloads = _chunk_payloads(base, names, combos, group_ids, engine, workers)
+        with ProcessPoolExecutor(
+            max_workers=len(payloads),
+            initializer=_init_worker,
+            initargs=(trace, shared_lut),
+        ) as pool:
+            results: list[SimulationResult] = []
+            # pool.map yields chunks in submission order as they
+            # finish; reporting per chunk keeps progress durable even
+            # if a later chunk (or the caller) dies.
+            for chunk in pool.map(_simulate_chunk, payloads):
+                if on_result is not None:
+                    for offset, result in enumerate(chunk):
+                        on_result(len(results) + offset, result)
+                results.extend(chunk)
+            return results
+    if plan is None:
+        plan = TracePlan(trace)
+    return _simulate_combos(
+        base, trace, names, combos, group_ids, shared_lut, engine, plan, on_result
+    )
 
 
 def sweep(
@@ -261,31 +332,19 @@ def sweep(
             raise ConfigurationError(
                 f"{name!r} is not an ArchitectureConfig field"
             )
-    if parallel is not None and parallel < 1:
-        raise ConfigurationError("parallel must be a positive worker count")
-    # Validate up front: the breakeven-grouped path never reaches
-    # simulate()'s own engine check, and a typo'd engine must not
-    # silently fall through to the fast engine.
-    validate_engine(engine)
-    shared_lut = lut if lut is not None else LifetimeLUT.default()
 
     names = list(axes)
     combos = list(itertools.product(*(axes[name] for name in names)))
-    group_ids = _breakeven_group_ids(names, axes)
-    workers = min(parallel or 1, len(combos))
-    if workers > 1:
-        payloads = _chunk_payloads(base, names, combos, group_ids, engine, workers)
-        with ProcessPoolExecutor(
-            max_workers=len(payloads),
-            initializer=_init_worker,
-            initargs=(trace, shared_lut),
-        ) as pool:
-            chunked = pool.map(_simulate_chunk, payloads)
-            results = [result for chunk in chunked for result in chunk]
-    else:
-        results = _simulate_combos(
-            base, trace, names, combos, group_ids, shared_lut, engine, TracePlan(trace)
-        )
+    results = simulate_selected(
+        base,
+        trace,
+        names,
+        combos,
+        group_ids=_breakeven_group_ids(names, axes),
+        lut=lut,
+        engine=engine,
+        parallel=parallel,
+    )
     points = tuple(
         SweepPoint(parameters=dict(zip(names, combo)), result=result)
         for combo, result in zip(combos, results)

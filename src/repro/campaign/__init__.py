@@ -1,0 +1,91 @@
+"""Declarative campaigns: serializable specs, content-addressed results.
+
+This package is the public experiment API. An experiment is described
+by data, not by code:
+
+* :mod:`repro.campaign.codec` — exact, versioned ``to_dict``/
+  ``from_dict`` round-trips for :class:`~repro.core.config.ArchitectureConfig`,
+  :class:`~repro.cache.geometry.CacheGeometry` and
+  :class:`~repro.power.energy.TechnologyParams`, plus canonical-JSON
+  content hashing;
+* :mod:`repro.campaign.tracespec` — :class:`TraceSpec`, a workload
+  named by data (synthetic profile + seed + schedule, or a trace file)
+  behind one extensible registry;
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` = trace specs ×
+  config axes × engine, serializable to a JSON spec file;
+* :mod:`repro.campaign.store` — :class:`CampaignStore`, one atomic
+  record per ``(trace_hash, config_hash)`` under a campaign directory;
+* :mod:`repro.campaign.run` — :func:`run_campaign`, which simulates
+  only the points the store is missing.
+
+Content-hash guarantees
+-----------------------
+Every identity in this package is a SHA-256 over *canonical JSON*
+(sorted keys, compact separators, NaN rejected, all defaults written
+explicitly by the encoders). That buys three properties the resumable
+store relies on:
+
+1. **Stability** — hashes are identical across processes, platforms
+   and Python versions; float fields use shortest-round-trip ``repr``
+   formatting, which is exact for IEEE-754 doubles.
+2. **Semantic identity** — two configs (or trace specs) hash equally
+   iff they are equal as objects: encoders never elide defaults, and
+   decoders reject unknown keys, so each object has exactly one
+   encoding.
+3. **Point addressing** — a result is keyed by the pair
+   ``(trace_hash, config_hash)`` alone. Anything that cannot change
+   the simulated numbers (worker count, campaign name, which spec file
+   a point came from) is excluded from the key, so every rerun —
+   resumed, widened, or from a different campaign sharing points —
+   reuses the same entries.
+
+For deterministic trace sources (``synthetic``, or ``file`` with a
+``sha256`` checksum) equal hashes imply bit-identical traces and hence
+bit-identical results; results stored under a key can be reproduced by
+rebuilding the config with :func:`~repro.campaign.codec.config_from_dict`
+and resimulating.
+"""
+
+from repro.campaign.codec import (
+    CodecError,
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    content_hash,
+    geometry_from_dict,
+    geometry_to_dict,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.campaign.run import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignStatus,
+    campaign_status,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.tracespec import TraceSource, TraceSpec, register_trace_source
+
+__all__ = [
+    "CodecError",
+    "config_to_dict",
+    "config_from_dict",
+    "config_hash",
+    "content_hash",
+    "geometry_to_dict",
+    "geometry_from_dict",
+    "technology_to_dict",
+    "technology_from_dict",
+    "TraceSpec",
+    "TraceSource",
+    "register_trace_source",
+    "CampaignSpec",
+    "CampaignStore",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignStatus",
+    "campaign_status",
+    "run_campaign",
+]

@@ -1,0 +1,238 @@
+"""Exact, versioned codec for configuration objects.
+
+The original ``serialize.py`` wrote a lossy *summary* of the simulated
+configuration — good enough for reading a table, useless for
+resimulation. This module is the exact counterpart: every field of
+:class:`~repro.core.config.ArchitectureConfig` (and of the nested
+:class:`~repro.cache.geometry.CacheGeometry` and
+:class:`~repro.power.energy.TechnologyParams`) round-trips through plain
+JSON types with no loss, so a stored payload can rebuild the *identical*
+config object::
+
+    config_from_dict(config_to_dict(config)) == config
+
+Round-trip exactness includes floats: canonical JSON uses Python's
+``repr``-based float formatting, which is shortest-round-trip exact for
+IEEE-754 doubles, so ``frequency_hz`` and every technology coefficient
+survive a disk round-trip bit-for-bit.
+
+Content hashing
+---------------
+:func:`content_hash` derives a hex digest from *canonical JSON*: keys
+sorted, no whitespace, NaN/Infinity rejected, all defaults written
+explicitly by the ``*_to_dict`` encoders. Two guarantees follow:
+
+* **Determinism** — the hash of a config (or any payload built from the
+  encoders here) is stable across processes, platforms and Python
+  versions; it can safely key an on-disk store.
+* **Semantic identity** — two configs hash equally iff they are equal
+  as dataclasses, because the encoders write every field (never eliding
+  defaults) and the decoders validate strictly (unknown keys are
+  errors, so no two spellings of the same config exist).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import ArchitectureConfig
+from repro.errors import ReproError
+from repro.power.energy import TechnologyParams
+
+
+class CodecError(ReproError):
+    """A payload cannot be decoded into a configuration object."""
+
+
+#: Version of the exact-config payload format (v1 was the lossy summary
+#: written by ``serialize.FORMAT_VERSION == 1`` files).
+CONFIG_CODEC_VERSION = 2
+
+
+def canonical_json(payload) -> str:
+    """Serialize ``payload`` to canonical JSON (sorted keys, compact)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_hash(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def short_hash(full_hash: str, length: int = 12) -> str:
+    """Filename-friendly prefix of a full content hash."""
+    return full_hash[:length]
+
+
+# ----------------------------------------------------------------------
+# CacheGeometry
+# ----------------------------------------------------------------------
+def geometry_to_dict(geometry: CacheGeometry) -> dict:
+    """Encode a geometry; every field explicit."""
+    return {
+        "size_bytes": int(geometry.size_bytes),
+        "line_size": int(geometry.line_size),
+        "ways": int(geometry.ways),
+    }
+
+
+def geometry_from_dict(payload: dict) -> CacheGeometry:
+    """Decode a geometry; unknown keys are errors."""
+    if not isinstance(payload, dict):
+        raise CodecError(f"geometry payload must be a dict, got {type(payload).__name__}")
+    unknown = set(payload) - {"size_bytes", "line_size", "ways"}
+    if unknown:
+        raise CodecError(f"unknown geometry fields: {sorted(unknown)}")
+    try:
+        return CacheGeometry(
+            size_bytes=int(payload["size_bytes"]),
+            line_size=int(payload["line_size"]),
+            ways=int(payload.get("ways", 1)),
+        )
+    except KeyError as exc:
+        raise CodecError(f"geometry payload missing field {exc}") from exc
+    except ReproError as exc:
+        raise CodecError(f"invalid geometry: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# TechnologyParams
+# ----------------------------------------------------------------------
+_TECH_FIELDS = tuple(f.name for f in dataclasses.fields(TechnologyParams))
+
+
+def _normalize_tech_value(name: str, value):
+    """int for ``address_bits``, float for every coefficient.
+
+    Normalizing the numeric *type* keeps hashing semantic: Python
+    compares ``9`` and ``9.0`` equal, but canonical JSON spells them
+    differently, and the hash must follow object equality.
+    """
+    return int(value) if name == "address_bits" else float(value)
+
+
+def technology_to_dict(technology: TechnologyParams) -> dict:
+    """Encode the full coefficient set, defaults included."""
+    return {
+        name: _normalize_tech_value(name, getattr(technology, name))
+        for name in _TECH_FIELDS
+    }
+
+
+def technology_from_dict(payload: dict) -> TechnologyParams:
+    """Decode coefficients; missing fields take the calibrated defaults."""
+    if not isinstance(payload, dict):
+        raise CodecError(
+            f"technology payload must be a dict, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - set(_TECH_FIELDS)
+    if unknown:
+        raise CodecError(f"unknown technology fields: {sorted(unknown)}")
+    try:
+        normalized = {
+            name: _normalize_tech_value(name, value)
+            for name, value in payload.items()
+        }
+        return TechnologyParams(**normalized)
+    except (ReproError, TypeError, ValueError) as exc:
+        raise CodecError(f"invalid technology: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# ArchitectureConfig
+# ----------------------------------------------------------------------
+_CONFIG_FIELDS = {
+    "geometry",
+    "num_banks",
+    "policy",
+    "power_managed",
+    "update_period_cycles",
+    "update_events",
+    "breakeven_override",
+    "technology",
+    "frequency_hz",
+}
+
+
+def config_to_dict(config: ArchitectureConfig) -> dict:
+    """Encode every field of the config — an exact, resimulable payload.
+
+    Numeric fields are normalized to one canonical JSON type (int for
+    counts/cycles, float for the frequency), so two configs that
+    compare equal — e.g. ``frequency_hz=400e6`` vs ``400_000_000`` —
+    always produce the same encoding and hence the same content hash.
+    """
+    return {
+        "geometry": geometry_to_dict(config.geometry),
+        "num_banks": int(config.num_banks),
+        "policy": str(config.policy),
+        "power_managed": bool(config.power_managed),
+        "update_period_cycles": (
+            int(config.update_period_cycles)
+            if config.update_period_cycles is not None
+            else None
+        ),
+        "update_events": (
+            [int(c) for c in config.update_events]
+            if config.update_events is not None
+            else None
+        ),
+        "breakeven_override": (
+            int(config.breakeven_override)
+            if config.breakeven_override is not None
+            else None
+        ),
+        "technology": technology_to_dict(config.technology),
+        "frequency_hz": float(config.frequency_hz),
+    }
+
+
+def config_from_dict(payload: dict) -> ArchitectureConfig:
+    """Decode an exact config payload back into the identical object.
+
+    Optional fields absent from the payload take the dataclass defaults
+    (hand-written spec files stay short); unknown keys are errors so a
+    typo'd field name cannot silently vanish.
+    """
+    if not isinstance(payload, dict):
+        raise CodecError(f"config payload must be a dict, got {type(payload).__name__}")
+    unknown = set(payload) - _CONFIG_FIELDS
+    if unknown:
+        raise CodecError(f"unknown config fields: {sorted(unknown)}")
+    if "geometry" not in payload:
+        raise CodecError("config payload missing 'geometry'")
+    kwargs: dict = {"geometry": geometry_from_dict(payload["geometry"])}
+    if "technology" in payload and payload["technology"] is not None:
+        kwargs["technology"] = technology_from_dict(payload["technology"])
+    if payload.get("update_events") is not None:
+        events = payload["update_events"]
+        if not isinstance(events, (list, tuple)):
+            raise CodecError("update_events must be a list of cycles")
+        kwargs["update_events"] = tuple(int(c) for c in events)
+    coercions = {
+        "num_banks": int,
+        "policy": str,
+        "power_managed": bool,
+        "update_period_cycles": int,
+        "breakeven_override": int,
+        "frequency_hz": float,
+    }
+    for name, coerce in coercions.items():
+        if name in payload and payload[name] is not None:
+            kwargs[name] = coerce(payload[name])
+    try:
+        return ArchitectureConfig(**kwargs)
+    except ReproError as exc:
+        raise CodecError(f"invalid config: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed config payload: {exc}") from exc
+
+
+def config_hash(config: ArchitectureConfig) -> str:
+    """Content hash identifying ``config`` exactly (see module docstring)."""
+    return content_hash(config_to_dict(config))

@@ -1,0 +1,197 @@
+"""Campaign execution: run only what the store does not already hold.
+
+:func:`run_campaign` walks a :class:`~repro.campaign.spec.CampaignSpec`
+point by point, asks the :class:`~repro.campaign.store.CampaignStore`
+for each ``(trace_hash, config_hash)`` identity, and simulates *only*
+the missing points — through
+:func:`repro.analysis.sweep.simulate_selected`, so missing points on
+one trace still share a single :class:`~repro.core.plan.TracePlan`,
+points differing only in ``breakeven_override`` collapse into one
+batched gap computation, and ``parallel=N`` fans chunks out over
+processes.
+
+Consequences (pinned by the tests):
+
+* running the same spec twice simulates **zero** points the second
+  time — including after an interruption, because every finished point
+  was already persisted atomically;
+* widening an axis simulates only the new points;
+* a trace is not even materialized unless one of its points is missing,
+  so resuming a finished campaign costs only hash computations.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.aging.lut import LifetimeLUT
+from repro.analysis.sweep import _breakeven_group_ids, simulate_selected
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.tracespec import TraceSpec
+from repro.core.plan import TracePlan
+from repro.core.serialize import ResultRecord, write_json_atomic
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One finished campaign point and its stored record."""
+
+    trace: TraceSpec
+    parameters: dict
+    trace_hash: str
+    config_hash: str
+    record: ResultRecord
+
+    def value(self, metric: str):
+        """Read a metric off the record by attribute name."""
+        return getattr(self.record, metric)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All points of one campaign run, plus what the run actually did."""
+
+    spec: CampaignSpec
+    points: tuple[CampaignPoint, ...]
+    simulated: int
+    reused: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def records(self) -> list[ResultRecord]:
+        """The records in grid order."""
+        return [p.record for p in self.points]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Store coverage of a spec without running anything."""
+
+    total: int
+    done: int
+
+    @property
+    def missing(self) -> int:
+        """Points not yet in the store."""
+        return self.total - self.done
+
+
+def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
+    """How much of ``spec`` the store already holds."""
+    total = 0
+    done = 0
+    for point in spec.points():
+        total += 1
+        if point.key() in store:
+            done += 1
+    return CampaignStatus(total=total, done=done)
+
+
+def _write_manifest(spec: CampaignSpec, store: CampaignStore) -> None:
+    """Record the latest spec (and its hash) in the campaign directory."""
+    if store.directory is None:
+        return
+    os.makedirs(store.directory, exist_ok=True)
+    write_json_atomic(
+        os.path.join(store.directory, "campaign.json"),
+        {"spec": spec.to_dict(), "spec_hash": spec.spec_hash()},
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory: str | os.PathLike | None = None,
+    store: CampaignStore | None = None,
+    lut: LifetimeLUT | None = None,
+    parallel: int | None = None,
+) -> CampaignResult:
+    """Execute ``spec``, simulating only points absent from the store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative campaign description.
+    directory:
+        Campaign directory for persistence; ``None`` runs in memory
+        (every point simulates, nothing survives the process). Ignored
+        when an explicit ``store`` is passed.
+    store:
+        An already-open store to run against (shared with e.g. an
+        :class:`~repro.experiments.runner.ExperimentRunner`).
+    lut:
+        Lifetime LUT; defaults to the calibrated shared instance.
+        Stored integer counters are LUT-independent; derived lifetime
+        fields assume the same LUT across runs.
+    parallel:
+        Worker processes for the missing points of each trace.
+
+    Returns
+    -------
+    CampaignResult
+        Every point of the grid (reused and new alike) in grid order,
+        with ``simulated``/``reused`` counting what this call did.
+    """
+    if store is None:
+        store = CampaignStore(directory)
+    shared_lut = lut if lut is not None else LifetimeLUT.default()
+    _write_manifest(spec, store)
+
+    names = spec.axis_names
+    combos = spec.combos()
+    group_ids = _breakeven_group_ids(names, spec.axes)
+
+    all_points: list[CampaignPoint] = []
+    simulated = 0
+    reused = 0
+    for trace_spec in spec.traces:
+        points = spec.trace_points(trace_spec)
+        keys = [point.key() for point in points]
+        missing = [i for i, key in enumerate(keys) if key not in store]
+        if missing:
+            # Materialize the trace only now — a fully covered trace
+            # costs nothing to resume.
+            trace = trace_spec.build()
+            simulate_selected(
+                spec.base,
+                trace,
+                names,
+                [combos[i] for i in missing],
+                group_ids=(
+                    [group_ids[i] for i in missing] if group_ids is not None else None
+                ),
+                lut=shared_lut,
+                engine=spec.engine,
+                parallel=parallel,
+                plan=TracePlan(trace),
+                # Persist each result the moment it exists (per point /
+                # breakeven group / parallel chunk): an interruption
+                # loses at most the in-flight batch, and the rerun
+                # resumes from everything already stored.
+                on_result=lambda j, result: store.put(keys[missing[j]], result),
+            )
+            simulated += len(missing)
+        reused += len(combos) - len(missing)
+        for point, key in zip(points, keys):
+            record = store.get_record(key)
+            all_points.append(
+                CampaignPoint(
+                    trace=trace_spec,
+                    parameters=point.parameters,
+                    trace_hash=key[0],
+                    config_hash=key[1],
+                    record=record,
+                )
+            )
+    return CampaignResult(
+        spec=spec,
+        points=tuple(all_points),
+        simulated=simulated,
+        reused=reused,
+    )

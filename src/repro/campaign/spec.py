@@ -1,0 +1,274 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` is the first-class representation of "an
+experiment": which workloads (a list of :class:`~repro.campaign.tracespec.TraceSpec`),
+which configurations (a base :class:`~repro.core.config.ArchitectureConfig`
+plus named axes, exactly like :func:`repro.analysis.sweep.sweep`), and
+which engine. It is pure data — serializable to a JSON file, editable by
+hand, and content-hashed.
+
+Content-hash guarantee
+----------------------
+:meth:`CampaignSpec.spec_hash` hashes the canonical encoded form
+(sorted keys, defaults explicit, axis values encoded through the exact
+config codec). Two spec files that decode to equal specs hash equally
+regardless of formatting or key order; any change to a workload, the
+base config, an axis value, or the engine changes the hash. Execution
+knobs that cannot change results (``parallel`` worker counts) are
+deliberately *not* part of the spec, so they can never fragment a
+store.
+
+Every grid point also has its own identity: the pair
+``(trace_hash, config_hash)`` of its workload spec and its fully
+substituted config. The store keys on that pair, which is what makes
+reruns incremental — a widened axis adds new pairs, and only those are
+simulated.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.campaign.codec import (
+    CodecError,
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    content_hash,
+    geometry_from_dict,
+    geometry_to_dict,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.campaign.tracespec import TraceSpec
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import ArchitectureConfig
+from repro.power.energy import TechnologyParams
+
+#: Version of the campaign spec file format.
+SPEC_FORMAT_VERSION = 1
+
+
+def _encode_axis_value(name: str, value):
+    """Encode one axis value to JSON types, field-aware."""
+    if value is None:
+        return None
+    if name == "geometry":
+        if not isinstance(value, CacheGeometry):
+            raise CodecError("geometry axis values must be CacheGeometry objects")
+        return geometry_to_dict(value)
+    if name == "technology":
+        if not isinstance(value, TechnologyParams):
+            raise CodecError("technology axis values must be TechnologyParams objects")
+        return technology_to_dict(value)
+    if name == "update_events":
+        return list(value)
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    raise CodecError(
+        f"axis {name!r}: cannot encode value of type {type(value).__name__}"
+    )
+
+
+def _decode_axis_value(name: str, value):
+    """Inverse of :func:`_encode_axis_value`."""
+    if value is None:
+        return None
+    if name == "geometry":
+        return geometry_from_dict(value)
+    if name == "technology":
+        return technology_from_dict(value)
+    if name == "update_events":
+        if not isinstance(value, (list, tuple)):
+            raise CodecError("update_events axis values must be lists")
+        return tuple(int(c) for c in value)
+    return value
+
+
+@dataclass(frozen=True)
+class CampaignPointSpec:
+    """One fully substituted grid point of a campaign."""
+
+    trace: TraceSpec
+    parameters: dict
+    config: ArchitectureConfig
+
+    def key(self) -> tuple[str, str]:
+        """The store key ``(trace_hash, config_hash)``."""
+        return (self.trace.trace_hash(), config_hash(self.config))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Serializable description of a whole simulation campaign.
+
+    Attributes
+    ----------
+    name:
+        Human label; carried into the campaign directory metadata (not
+        part of any point's identity).
+    traces:
+        Workload specs; the config grid runs once per workload.
+    base:
+        Configuration template the axes are substituted into.
+    axes:
+        ``field name -> candidate values`` (any
+        :class:`ArchitectureConfig` field). May be empty: the campaign
+        then runs exactly the base config per trace.
+    engine:
+        Engine selector forwarded to the sweep engine. Part of the spec
+        hash (it describes *how* to run), but engines are bit-identical
+        by construction so store entries are shared across engines.
+    """
+
+    name: str
+    traces: tuple[TraceSpec, ...]
+    base: ArchitectureConfig
+    axes: dict = field(default_factory=dict)
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        from repro.core.simulator import validate_engine
+
+        if not self.traces:
+            raise CodecError("a campaign needs at least one trace spec")
+        object.__setattr__(self, "traces", tuple(self.traces))
+        field_names = set(ArchitectureConfig.__dataclass_fields__)
+        axes = {}
+        for axis_name, values in dict(self.axes).items():
+            if axis_name not in field_names:
+                raise CodecError(
+                    f"{axis_name!r} is not an ArchitectureConfig field"
+                )
+            values = list(values)
+            if not values:
+                raise CodecError(f"axis {axis_name!r} has no values")
+            axes[axis_name] = values
+        object.__setattr__(self, "axes", axes)
+        validate_engine(self.engine)
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> list[str]:
+        """Axis names in declaration order."""
+        return list(self.axes)
+
+    def combos(self) -> list[tuple]:
+        """Cartesian product of the axes (one empty combo when no axes)."""
+        return list(itertools.product(*(self.axes[n] for n in self.axis_names)))
+
+    def trace_points(self, trace: TraceSpec) -> list[CampaignPointSpec]:
+        """The grid points of one trace, in grid order.
+
+        The single place point identity is derived — the runner, the
+        status command and :meth:`points` all substitute axes into the
+        base config and key the store through here, so they can never
+        disagree about which points exist.
+
+        Raises the underlying configuration error if an axis combination
+        is invalid (e.g. a dynamic policy with one bank) — a campaign
+        grid must be fully valid before anything runs.
+        """
+        names = self.axis_names
+        points = []
+        for combo in self.combos():
+            parameters = dict(zip(names, combo))
+            points.append(
+                CampaignPointSpec(
+                    trace=trace,
+                    parameters=parameters,
+                    config=replace(self.base, **parameters),
+                )
+            )
+        return points
+
+    def points(self) -> Iterator[CampaignPointSpec]:
+        """Yield every (trace, parameters, config) point in grid order."""
+        for trace in self.traces:
+            yield from self.trace_points(trace)
+
+    def num_points(self) -> int:
+        """Total grid size across all traces."""
+        combos = 1
+        for values in self.axes.values():
+            combos *= len(values)
+        return combos * len(self.traces)
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical JSON-shaped form (defaults explicit)."""
+        return {
+            "version": SPEC_FORMAT_VERSION,
+            "name": self.name,
+            "engine": self.engine,
+            "traces": [trace.to_dict() for trace in self.traces],
+            "base": config_to_dict(self.base),
+            "axes": {
+                name: [_encode_axis_value(name, v) for v in values]
+                for name, values in self.axes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        """Decode a spec payload (e.g. a parsed spec file)."""
+        if not isinstance(payload, dict):
+            raise CodecError(
+                f"campaign payload must be a dict, got {type(payload).__name__}"
+            )
+        version = payload.get("version", SPEC_FORMAT_VERSION)
+        if version != SPEC_FORMAT_VERSION:
+            raise CodecError(f"unsupported campaign spec version {version!r}")
+        unknown = set(payload) - {"version", "name", "engine", "traces", "base", "axes"}
+        if unknown:
+            raise CodecError(f"unknown campaign spec fields: {sorted(unknown)}")
+        traces = payload.get("traces")
+        if not isinstance(traces, list) or not traces:
+            raise CodecError("campaign spec needs a non-empty 'traces' list")
+        if "base" not in payload:
+            raise CodecError("campaign spec missing 'base' config")
+        axes_payload = payload.get("axes", {})
+        if not isinstance(axes_payload, dict):
+            raise CodecError("campaign 'axes' must be a dict of value lists")
+        axes = {
+            name: [_decode_axis_value(name, v) for v in values]
+            for name, values in axes_payload.items()
+        }
+        return cls(
+            name=str(payload.get("name", "")),
+            traces=tuple(TraceSpec.from_dict(t) for t in traces),
+            base=config_from_dict(payload["base"]),
+            axes=axes,
+            engine=str(payload.get("engine", "auto")),
+        )
+
+    # ------------------------------------------------------------------
+    # Files and identity
+    # ------------------------------------------------------------------
+    def spec_hash(self) -> str:
+        """Content hash of the canonical form (see module docstring)."""
+        return content_hash(self.to_dict())
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the spec as a JSON file (atomically)."""
+        from repro.core.serialize import write_json_atomic
+
+        write_json_atomic(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CampaignSpec":
+        """Read a spec file written by :meth:`save` (or by hand)."""
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CodecError(f"{path}: not valid JSON ({exc})") from exc
+        return cls.from_dict(payload)

@@ -1,0 +1,168 @@
+"""Content-addressed persistence of campaign results.
+
+A :class:`CampaignStore` holds exactly one result record per point
+identity ``(trace_hash, config_hash)`` — the content hashes of the
+point's :class:`~repro.campaign.tracespec.TraceSpec` and of its fully
+substituted :class:`~repro.core.config.ArchitectureConfig` (see
+:mod:`repro.campaign.codec` for the guarantees those hashes carry).
+Because the key is derived from *what was simulated* and not from when
+or how, reruns, widened grids, interrupted campaigns and even different
+campaign specs that share points all converge on the same entries.
+
+Two tiers:
+
+* **memory** — live :class:`SimulationResult` objects from this
+  process, plus the record payloads (the runner's old memo dict is
+  exactly this tier);
+* **disk** (optional) — one JSON file per record under
+  ``<directory>/results/``, named by the short hashes and written
+  atomically, so a crash mid-campaign can never corrupt an entry. A
+  fresh process pointed at the directory sees every finished point and
+  can rebuild bit-identical results from the records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from repro.campaign.codec import short_hash
+from repro.core.results import SimulationResult
+from repro.core.serialize import (
+    ResultRecord,
+    SerializationError,
+    result_to_dict,
+    write_json_atomic,
+)
+
+#: Subdirectory of a campaign directory holding one file per record.
+RESULTS_DIRNAME = "results"
+
+
+class CampaignStore:
+    """One result record per (trace-hash, config-hash) point.
+
+    Parameters
+    ----------
+    directory:
+        Campaign directory for the disk tier; ``None`` keeps the store
+        memory-only (the experiment runner's default). Existing records
+        under ``<directory>/results/`` are indexed at construction, so
+        a reopened store resumes where the last process stopped.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = os.fspath(directory) if directory is not None else None
+        self._records: dict[tuple[str, str], dict] = {}
+        self._results: dict[tuple[str, str], SimulationResult] = {}
+        if self.directory is not None:
+            self._load_existing()
+
+    # ------------------------------------------------------------------
+    # Disk layout
+    # ------------------------------------------------------------------
+    @property
+    def _results_dir(self) -> str:
+        return os.path.join(self.directory, RESULTS_DIRNAME)
+
+    def _record_path(self, key: tuple[str, str]) -> str:
+        trace_hash, config_hash = key
+        name = f"{short_hash(trace_hash)}-{short_hash(config_hash)}.json"
+        return os.path.join(self._results_dir, name)
+
+    def _load_existing(self) -> None:
+        """Index every record file already in the campaign directory.
+
+        Deliberately does not create anything: read-only callers
+        (``campaign status``/``show``) must be able to open a store —
+        including a not-yet-existing directory — without mutating the
+        filesystem. Directories are created on first :meth:`put`.
+        """
+        if not os.path.isdir(self._results_dir):
+            return
+        for entry in sorted(os.listdir(self._results_dir)):
+            if not entry.endswith(".json"):
+                continue
+            path = os.path.join(self._results_dir, entry)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                key = (payload["key"]["trace_hash"], payload["key"]["config_hash"])
+                record = payload["record"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise SerializationError(
+                    f"corrupt campaign record {path}: {exc}"
+                ) from exc
+            self._records[key] = record
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[tuple[str, str]]:
+        """All stored point identities."""
+        return iter(self._records)
+
+    def get_record(self, key: tuple[str, str]) -> ResultRecord | None:
+        """The stored record for ``key``, or ``None``."""
+        payload = self._records.get(key)
+        if payload is None:
+            return None
+        return ResultRecord.from_dict(payload)
+
+    def get_result(
+        self, key: tuple[str, str], lut=None
+    ) -> SimulationResult | None:
+        """The full result for ``key``, or ``None`` if absent.
+
+        Results simulated by this process come back as the very same
+        object (the memo-dict contract); results known only as records
+        are rebuilt bit-identically via
+        :meth:`~repro.core.serialize.ResultRecord.to_result` and then
+        cached in the live tier.
+        """
+        live = self._results.get(key)
+        if live is not None:
+            return live
+        record = self.get_record(key)
+        if record is None:
+            return None
+        result = record.to_result(lut)
+        self._results[key] = result
+        return result
+
+    def put(self, key: tuple[str, str], result: SimulationResult) -> dict:
+        """Store ``result`` under ``key`` in both tiers; returns its payload."""
+        payload = result_to_dict(result)
+        self._records[key] = payload
+        self._results[key] = result
+        if self.directory is not None:
+            os.makedirs(self._results_dir, exist_ok=True)
+            write_json_atomic(
+                self._record_path(key),
+                {
+                    "key": {"trace_hash": key[0], "config_hash": key[1]},
+                    "record": payload,
+                },
+            )
+        return payload
+
+    def records(self) -> list[ResultRecord]:
+        """Every stored record (arbitrary but stable key order)."""
+        return [ResultRecord.from_dict(p) for _, p in sorted(self._records.items())]
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tiers (disk records, if any, survive)."""
+        self._results.clear()
+        if self.directory is None:
+            self._records.clear()
+        # Directory-backed: re-index from disk so records stay visible.
+        else:
+            self._records.clear()
+            self._load_existing()

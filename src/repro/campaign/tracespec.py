@@ -1,0 +1,230 @@
+"""Declarative, regenerable trace sources.
+
+A :class:`TraceSpec` names a workload *by data*: a source kind plus the
+parameters that source needs to materialize the trace. Specs are plain
+JSON-shaped values, so a campaign file fully describes its workloads and
+the trace can always be regenerated — there is no "trace object I
+happened to have in memory" anywhere in the campaign layer.
+
+Sources live in one registry keyed by kind. Two kinds are built in:
+
+* ``synthetic`` — the calibrated MediaBench-like generator: benchmark
+  profile + geometry + seed + schedule dimensions. Deterministic: the
+  same spec yields a bit-identical trace on every machine.
+* ``file`` — a trace file readable by :func:`repro.trace.io.load_trace`
+  (``.trc`` text or ``.npz``). An optional ``sha256`` of the file bytes
+  is verified at build time, extending the content-hash guarantee to
+  file-backed workloads; without it the spec hash only pins the *path*.
+
+Custom sources register through :func:`register_trace_source`.
+
+Content-hash guarantee
+----------------------
+:meth:`TraceSpec.trace_hash` hashes the *normalized* spec (kind + all
+parameters with defaults filled in), via the same canonical JSON as the
+config codec. Hence two specs hash equally iff they normalize to the
+same parameters — and for deterministic kinds, equal hashes imply
+bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.campaign.codec import CodecError, content_hash
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceSource:
+    """One registered way of materializing traces.
+
+    Attributes
+    ----------
+    kind:
+        Registry key, e.g. ``"synthetic"``.
+    build:
+        ``params dict -> Trace``; receives the normalized parameters.
+    required:
+        Parameter names that must be present in a spec.
+    defaults:
+        Optional parameters and their default values (written into the
+        normalized form so hashes never depend on spelling defaults
+        out).
+    """
+
+    kind: str
+    build: Callable[[dict], Trace]
+    required: tuple[str, ...] = ()
+    defaults: dict = field(default_factory=dict)
+
+    def normalize(self, params: dict) -> dict:
+        """Validate ``params`` and fill defaults."""
+        unknown = set(params) - set(self.required) - set(self.defaults)
+        if unknown:
+            raise CodecError(
+                f"trace source {self.kind!r}: unknown parameters {sorted(unknown)}"
+            )
+        missing = set(self.required) - set(params)
+        if missing:
+            raise CodecError(
+                f"trace source {self.kind!r}: missing parameters {sorted(missing)}"
+            )
+        normalized = dict(self.defaults)
+        normalized.update(params)
+        return normalized
+
+
+_REGISTRY: dict[str, TraceSource] = {}
+
+
+def register_trace_source(source: TraceSource) -> None:
+    """Register (or replace) a trace source under its kind."""
+    _REGISTRY[source.kind] = source
+
+
+def trace_source(kind: str) -> TraceSource:
+    """Look up a registered source."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise CodecError(f"unknown trace source {kind!r}; known: {known}") from None
+
+
+# ----------------------------------------------------------------------
+# Built-in sources
+# ----------------------------------------------------------------------
+def _build_synthetic(params: dict) -> Trace:
+    from repro.cache.geometry import CacheGeometry
+    from repro.trace.generator import WorkloadGenerator
+    from repro.trace.mediabench import profile_for
+
+    geometry = CacheGeometry(
+        size_bytes=params["size_bytes"],
+        line_size=params["line_size"],
+        ways=params["ways"],
+    )
+    generator = WorkloadGenerator(
+        geometry,
+        num_windows=params["num_windows"],
+        window_cycles=params["window_cycles"],
+        master_seed=params["master_seed"],
+    )
+    return generator.generate(profile_for(params["benchmark"]))
+
+
+def _build_file(params: dict) -> Trace:
+    from repro.errors import TraceError
+    from repro.trace.io import load_trace
+
+    path = params["path"]
+    expected = params["sha256"]
+    if expected:
+        with open(os.fspath(path), "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        if digest != expected:
+            raise TraceError(
+                f"trace file {path} does not match its spec checksum "
+                f"(expected {expected[:12]}…, found {digest[:12]}…)"
+            )
+    return load_trace(path)
+
+
+register_trace_source(
+    TraceSource(
+        kind="synthetic",
+        build=_build_synthetic,
+        required=("benchmark",),
+        defaults={
+            "size_bytes": 16 * 1024,
+            "line_size": 16,
+            "ways": 1,
+            "num_windows": 1500,
+            "window_cycles": 1024,
+            "master_seed": 2011,
+        },
+    )
+)
+
+register_trace_source(
+    TraceSource(
+        kind="file",
+        build=_build_file,
+        required=("path",),
+        defaults={"sha256": ""},
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# TraceSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceSpec:
+    """A trace named by data: source kind + parameters.
+
+    Specs are validated and normalized at construction (defaults filled
+    in), so equality and :meth:`trace_hash` are canonical — two specs
+    that mean the same workload compare and hash equal.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        source = trace_source(self.kind)
+        object.__setattr__(self, "params", source.normalize(self.params))
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def synthetic(cls, benchmark: str, **params) -> "TraceSpec":
+        """Spec for the calibrated synthetic generator."""
+        return cls(kind="synthetic", params={"benchmark": benchmark, **params})
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike, sha256: str = "") -> "TraceSpec":
+        """Spec for a saved trace file (optionally checksum-pinned)."""
+        return cls(kind="file", params={"path": os.fspath(path), "sha256": sha256})
+
+    # -- codec ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-shaped form (normalized parameters, defaults explicit)."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceSpec":
+        """Decode; unknown keys and unknown kinds are errors."""
+        if not isinstance(payload, dict):
+            raise CodecError(
+                f"trace spec payload must be a dict, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"kind", "params"}
+        if unknown:
+            raise CodecError(f"unknown trace spec fields: {sorted(unknown)}")
+        if "kind" not in payload:
+            raise CodecError("trace spec payload missing 'kind'")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise CodecError("trace spec 'params' must be a dict")
+        return cls(kind=payload["kind"], params=dict(params))
+
+    # -- identity and materialization ----------------------------------
+    def trace_hash(self) -> str:
+        """Content hash of the normalized spec (see module docstring)."""
+        return content_hash(self.to_dict())
+
+    def build(self) -> Trace:
+        """Materialize the trace this spec names."""
+        return trace_source(self.kind).build(dict(self.params))
+
+    def label(self) -> str:
+        """Short human-readable identity for reports."""
+        if self.kind == "synthetic":
+            return str(self.params["benchmark"])
+        if self.kind == "file":
+            return os.path.basename(str(self.params["path"]))
+        return self.kind

@@ -12,6 +12,9 @@ Commands reproduce the paper's artifacts from the terminal::
     repro policies          # probing vs scrambling uniformity convergence
     repro profile <bench>   # characterize a synthetic workload
     repro sweep             # design-space sweep on one workload
+    repro campaign run s.json --dir DIR     # resumable spec-file campaign
+    repro campaign status s.json --dir DIR  # store coverage of a spec
+    repro campaign show PATH                # render a campaign dir or results file
 
 ``--quick`` runs a reduced benchmark set with shorter traces — useful
 for smoke checks; the full run takes a couple of minutes.
@@ -19,7 +22,13 @@ for smoke checks; the full run takes a couple of minutes.
 ``repro sweep`` exercises the shared trace-plan sweep engine: one
 decode/sort of the trace feeds every grid point, a breakeven axis is
 batched into single gap computations, and ``--parallel N`` fans chunks
-out over processes without re-pickling the trace per chunk.
+out over processes without re-pickling the trace per chunk. ``--save``
+persists the results as a (v2, exactly resimulable) JSON file.
+
+``repro campaign`` takes a declarative JSON spec file (see
+:class:`repro.campaign.CampaignSpec`); running the same spec twice
+against the same ``--dir`` simulates nothing the second time, and
+widening an axis simulates only the new points.
 """
 
 from __future__ import annotations
@@ -223,7 +232,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"best lifetime: {best.value('lifetime_years'):.2f}y at {best.parameters}")
     print(f"swept {len(result)} points in {seconds:.2f}s "
           f"({len(result) / seconds:.1f} points/s)")
+    if args.save:
+        from repro.core.serialize import save_results
+
+        save_results([point.result for point in result], args.save)
+        print(f"saved {len(result)} results to {args.save}")
     return 0
+
+
+def _render_records(records) -> None:
+    """Shared results table for ``campaign run`` and ``campaign show``."""
+    print(f"{'trace':>12} {'banks':>5} {'policy':>11} {'hit-rate':>8} "
+          f"{'Esav':>7} {'LT':>7}")
+    for record in records:
+        print(
+            f"{record.trace_name:>12} "
+            f"{record.config.get('num_banks', '?'):>5} "
+            f"{record.config.get('policy', '?'):>11} "
+            f"{record.hit_rate:>8.2%} {record.energy_savings:>7.2%} "
+            f"{record.lifetime_years:>6.2f}y"
+        )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, CampaignStore, campaign_status, run_campaign
+    from repro.core.serialize import load_results
+    from repro.errors import ReproError
+
+    try:
+        if args.campaign_command == "show":
+            import os
+
+            path = args.path
+            if os.path.isdir(path):
+                records = CampaignStore(path).records()
+                print(f"{path}: {len(records)} stored records")
+            else:
+                records = load_results(path)
+                print(f"{path}: {len(records)} saved results")
+            _render_records(records)
+            return 0
+
+        spec = CampaignSpec.load(args.spec)
+        if args.campaign_command == "status":
+            import os
+
+            store = CampaignStore(args.dir) if args.dir else CampaignStore()
+            status = campaign_status(spec, store)
+            note = ""
+            if args.dir and not os.path.isdir(args.dir):
+                note = f" [directory {args.dir} does not exist yet]"
+            print(
+                f"{spec.name or args.spec}: {status.done}/{status.total} points "
+                f"done, {status.missing} missing "
+                f"(spec {spec.spec_hash()[:12]}){note}"
+            )
+            return 0
+
+        # campaign run
+        result = run_campaign(
+            spec, directory=args.dir or None, parallel=args.parallel
+        )
+        print(
+            f"{spec.name or args.spec}: {len(result)} points, "
+            f"simulated {result.simulated}, reused {result.reused}"
+            + (f" (store: {args.dir})" if args.dir else " (in memory)")
+        )
+        _render_records(result.records)
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -306,6 +385,34 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument(
         "--parallel", type=int, default=None, help="worker processes for the grid"
     )
+    p_sweep.add_argument(
+        "--save",
+        default="",
+        help="write the sweep results to this JSON file (save_results format)",
+    )
+
+    p_camp = sub.add_parser(
+        "campaign", help="declarative, resumable campaigns from JSON spec files"
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_run = camp_sub.add_parser("run", help="run a spec; skip points already stored")
+    p_run.add_argument("spec", help="campaign spec JSON file")
+    p_run.add_argument(
+        "--dir", default="", help="campaign directory (content-addressed store)"
+    )
+    p_run.add_argument(
+        "--parallel", type=int, default=None, help="worker processes per trace"
+    )
+
+    p_status = camp_sub.add_parser("status", help="store coverage of a spec")
+    p_status.add_argument("spec", help="campaign spec JSON file")
+    p_status.add_argument("--dir", default="", help="campaign directory")
+
+    p_show = camp_sub.add_parser(
+        "show", help="render a campaign directory or a saved results file"
+    )
+    p_show.add_argument("path", help="campaign --dir or a save_results JSON file")
 
     args = parser.parse_args(argv)
     if args.command in _TABLES:
@@ -322,6 +429,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -3,15 +3,36 @@
 Campaign runs (hundreds of simulations) want their results on disk in a
 stable, diff-able form. This module flattens a
 :class:`~repro.core.results.SimulationResult` into plain JSON types and
-back into a :class:`ResultRecord` (a read-back view carrying the same
-derived metrics; the full config object is summarized, not rebuilt —
-records are for analysis, not resimulation).
+back into a :class:`ResultRecord`.
+
+Format version 2 records are **exact**: the config payload is the full
+:mod:`repro.campaign.codec` encoding (geometry with ``ways``,
+``update_events``, ``breakeven_override``, the complete
+:class:`~repro.power.energy.TechnologyParams`, ``frequency_hz``) and the
+per-bank activity counters are stored in full, so a record can rebuild
+the identical :class:`~repro.core.config.ArchitectureConfig`
+(:meth:`ResultRecord.architecture`) and the bit-identical
+:class:`SimulationResult` (:meth:`ResultRecord.to_result`) — energy and
+lifetime are deterministic functions of config + counters.
+
+Version 1 files (the old lossy summary) still load: the reader migrates
+their config summary into a best-effort v2 payload — geometry and
+policy fields carry over exactly; ``update_events`` (never stored) is
+``None``; technology and frequency take the calibrated defaults; the
+stored effective ``breakeven`` becomes ``breakeven_override`` so the
+rebuilt config reproduces the original sleep accounting even if the
+original technology differed. v1 records cannot rebuild a full
+``SimulationResult`` (their bank counters are incomplete) and say so.
+
+All files are written atomically (temp file + ``os.replace``), so an
+interrupted campaign never leaves a truncated JSON behind.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 
 from repro.core.results import SimulationResult
@@ -22,25 +43,54 @@ class SerializationError(ReproError):
     """A result file is malformed or from an incompatible version."""
 
 
-#: Format version written into every file.
-FORMAT_VERSION = 1
+#: Format version written into every file. v2 = exact configs + full
+#: per-bank counters; v1 (read-only) = the old lossy summary.
+FORMAT_VERSION = 2
+
+#: Versions the reader accepts.
+_READABLE_VERSIONS = (1, 2)
+
+
+def write_json_atomic(path: str | os.PathLike, payload) -> None:
+    """Write ``payload`` as JSON via a temp file + ``os.replace``.
+
+    The destination either keeps its previous content or receives the
+    complete new content — a crash mid-write can never truncate it.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600 files; widen to the umask-honoring mode
+        # a plain open() would have used, or the renamed result file
+        # stays owner-only readable in shared campaign directories.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    """Flatten a result into JSON-safe types."""
-    config = result.config
+    """Flatten a result into JSON-safe types (format version 2)."""
+    # Imported lazily: repro.campaign imports this module for atomic
+    # writes and records, so the codec import must not run at import
+    # time here.
+    from repro.campaign.codec import config_to_dict
+
+    bank_stats = result.bank_stats
     return {
         "version": FORMAT_VERSION,
-        "config": {
-            "size_bytes": config.geometry.size_bytes,
-            "line_size": config.geometry.line_size,
-            "ways": config.geometry.ways,
-            "num_banks": config.num_banks,
-            "policy": config.policy,
-            "power_managed": config.power_managed,
-            "update_period_cycles": config.update_period_cycles,
-            "breakeven": config.breakeven(),
-        },
+        "config": config_to_dict(result.config),
         "trace_name": result.trace_name,
         "total_cycles": result.total_cycles,
         "hits": result.cache_stats.hits,
@@ -49,8 +99,13 @@ def result_to_dict(result: SimulationResult) -> dict:
         "updates_applied": result.updates_applied,
         "flush_invalidations": result.flush_invalidations,
         "bank_idleness": list(result.bank_idleness),
-        "bank_accesses": [s.accesses for s in result.bank_stats],
-        "bank_transitions": [s.transitions for s in result.bank_stats],
+        "bank_accesses": [s.accesses for s in bank_stats],
+        "bank_transitions": [s.transitions for s in bank_stats],
+        "bank_idle_intervals": [s.idle_intervals for s in bank_stats],
+        "bank_useful_intervals": [s.useful_intervals for s in bank_stats],
+        "bank_idle_cycles": [s.idle_cycles for s in bank_stats],
+        "bank_sleep_cycles": [s.sleep_cycles for s in bank_stats],
+        "bank_total_cycles": [s.total_cycles for s in bank_stats],
         "energy_pj": result.energy_pj,
         "baseline_energy_pj": result.baseline_energy_pj,
         "energy_savings": result.energy_savings,
@@ -61,10 +116,36 @@ def result_to_dict(result: SimulationResult) -> dict:
     }
 
 
+def _upgrade_v1_config(summary: dict) -> dict:
+    """Best-effort exact-codec payload from a v1 config summary."""
+    try:
+        return {
+            "geometry": {
+                "size_bytes": summary["size_bytes"],
+                "line_size": summary["line_size"],
+                "ways": summary.get("ways", 1),
+            },
+            "num_banks": summary["num_banks"],
+            "policy": summary["policy"],
+            "power_managed": summary["power_managed"],
+            "update_period_cycles": summary["update_period_cycles"],
+            "update_events": None,
+            # v1 stored the *effective* breakeven; pinning it as the
+            # override preserves the original accounting under the
+            # default technology assumed below.
+            "breakeven_override": summary.get("breakeven"),
+            "technology": None,
+            "frequency_hz": 400e6,
+        }
+    except KeyError as exc:
+        raise SerializationError(f"v1 config summary missing field {exc}") from exc
+
+
 @dataclass(frozen=True)
 class ResultRecord:
     """Read-back view of a serialized result."""
 
+    version: int
     config: dict
     trace_name: str
     total_cycles: int
@@ -83,17 +164,36 @@ class ResultRecord:
     bank_lifetimes_years: tuple[float, ...]
     limiting_bank: int
     hit_rate: float
+    bank_idle_intervals: tuple[int, ...] | None = None
+    bank_useful_intervals: tuple[int, ...] | None = None
+    bank_idle_cycles: tuple[int, ...] | None = None
+    bank_sleep_cycles: tuple[int, ...] | None = None
+    bank_total_cycles: tuple[int, ...] | None = None
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResultRecord":
-        """Validate and build a record from parsed JSON."""
-        if payload.get("version") != FORMAT_VERSION:
+        """Validate and build a record from parsed JSON (v1 or v2)."""
+        version = payload.get("version")
+        if version not in _READABLE_VERSIONS:
             raise SerializationError(
-                f"unsupported result version {payload.get('version')!r}"
+                f"unsupported result version {version!r}"
             )
         try:
+            if version == 1:
+                config = _upgrade_v1_config(dict(payload["config"]))
+                counters: dict = {}
+            else:
+                config = dict(payload["config"])
+                counters = {
+                    "bank_idle_intervals": tuple(payload["bank_idle_intervals"]),
+                    "bank_useful_intervals": tuple(payload["bank_useful_intervals"]),
+                    "bank_idle_cycles": tuple(payload["bank_idle_cycles"]),
+                    "bank_sleep_cycles": tuple(payload["bank_sleep_cycles"]),
+                    "bank_total_cycles": tuple(payload["bank_total_cycles"]),
+                }
             return cls(
-                config=dict(payload["config"]),
+                version=version,
+                config=config,
                 trace_name=payload["trace_name"],
                 total_cycles=payload["total_cycles"],
                 hits=payload["hits"],
@@ -111,13 +211,82 @@ class ResultRecord:
                 bank_lifetimes_years=tuple(payload["bank_lifetimes_years"]),
                 limiting_bank=payload["limiting_bank"],
                 hit_rate=payload["hit_rate"],
+                **counters,
             )
         except KeyError as exc:
             raise SerializationError(f"missing field {exc}") from exc
 
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def architecture(self):
+        """Rebuild the :class:`ArchitectureConfig` via the exact codec.
+
+        Exact for v2 records; best-effort for migrated v1 records (see
+        module docstring).
+        """
+        from repro.campaign.codec import config_from_dict
+
+        payload = dict(self.config)
+        if payload.get("technology") is None:
+            payload.pop("technology", None)
+        return config_from_dict(payload)
+
+    def to_result(self, lut=None) -> SimulationResult:
+        """Rebuild the full, bit-identical :class:`SimulationResult`.
+
+        Energy and lifetime are recomputed from the exact config and the
+        stored integer counters through the same assembly path both
+        engines use, so every derived field matches the original run
+        exactly (given the same lifetime LUT).
+
+        Raises
+        ------
+        SerializationError
+            For v1 records, whose counters are incomplete.
+        """
+        if self.version < 2 or self.bank_sleep_cycles is None:
+            raise SerializationError(
+                "v1 records store summary metrics only and cannot rebuild "
+                "a full SimulationResult; resimulate via architecture()"
+            )
+        from repro.cache.stats import CacheStats
+        from repro.core.simulator import assemble_result
+        from repro.power.idleness import BankIdleStats
+
+        bank_stats = [
+            BankIdleStats(
+                accesses=self.bank_accesses[b],
+                idle_intervals=self.bank_idle_intervals[b],
+                useful_intervals=self.bank_useful_intervals[b],
+                idle_cycles=self.bank_idle_cycles[b],
+                sleep_cycles=self.bank_sleep_cycles[b],
+                transitions=self.bank_transitions[b],
+                total_cycles=self.bank_total_cycles[b],
+            )
+            for b in range(len(self.bank_accesses))
+        ]
+        cache_stats = CacheStats(
+            hits=self.hits, misses=self.misses, flushes=self.flushes
+        )
+        return assemble_result(
+            config=self.architecture(),
+            trace_name=self.trace_name,
+            horizon=self.total_cycles,
+            bank_stats=bank_stats,
+            cache_stats=cache_stats,
+            updates_applied=self.updates_applied,
+            flush_invalidations=self.flush_invalidations,
+            lut=lut,
+        )
+
 
 def save_results(results, path: str | os.PathLike) -> None:
-    """Write a list of results (or records' dicts) as a JSON campaign file."""
+    """Write a list of results (or records' dicts) as a JSON campaign file.
+
+    The write is atomic: an interrupted run leaves either the previous
+    file or the complete new one, never a truncated JSON.
+    """
     payload = {
         "version": FORMAT_VERSION,
         "results": [
@@ -125,18 +294,17 @@ def save_results(results, path: str | os.PathLike) -> None:
             for r in results
         ],
     }
-    with open(os.fspath(path), "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
+    write_json_atomic(path, payload)
 
 
 def load_results(path: str | os.PathLike) -> list[ResultRecord]:
-    """Read a campaign file back into records."""
+    """Read a campaign file back into records (format v1 or v2)."""
     with open(os.fspath(path), "r", encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise SerializationError(f"{path}: not valid JSON ({exc})") from exc
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in _READABLE_VERSIONS:
         raise SerializationError(f"unsupported campaign version {payload.get('version')!r}")
     entries = payload.get("results")
     if not isinstance(entries, list):

@@ -31,16 +31,25 @@ def _effective_breakeven(config: ArchitectureConfig, horizon: int) -> int:
     return config.breakeven()
 
 
-def _finish(
+def assemble_result(
     config: ArchitectureConfig,
-    trace: Trace,
+    trace_name: str,
+    horizon: int,
     bank_stats: list[BankIdleStats],
     cache_stats,
     updates_applied: int,
     flush_invalidations: int,
     lut: LifetimeLUT | None,
 ) -> SimulationResult:
-    """Common result assembly for both engines."""
+    """Assemble a :class:`SimulationResult` from measured counters.
+
+    Energy and lifetime are *derived* deterministically from the config
+    and the integer counters, so assembling the same counters twice —
+    in particular, from a deserialized
+    :class:`~repro.core.serialize.ResultRecord` — reproduces every
+    field bit-identically (given the same LUT). Both engines and the
+    record reader funnel through this one function.
+    """
     model = config.make_energy_model()
     breakdowns = tuple(
         model.bank_energy(
@@ -53,14 +62,14 @@ def _finish(
     )
     energy = sum(b.total for b in breakdowns)
     baseline = config.make_baseline_energy_model().unmanaged_energy(
-        cache_stats.accesses, trace.horizon
+        cache_stats.accesses, horizon
     )
     sleep_fractions = [s.useful_idleness for s in bank_stats]
     lifetime = cache_lifetime_years(sleep_fractions, lut=lut)
     return SimulationResult(
         config=config,
-        trace_name=trace.name,
-        total_cycles=trace.horizon,
+        trace_name=trace_name,
+        total_cycles=horizon,
         bank_stats=tuple(bank_stats),
         cache_stats=cache_stats,
         updates_applied=updates_applied,
@@ -69,6 +78,28 @@ def _finish(
         energy_pj=energy,
         baseline_energy_pj=baseline,
         lifetime=lifetime,
+    )
+
+
+def _finish(
+    config: ArchitectureConfig,
+    trace: Trace,
+    bank_stats: list[BankIdleStats],
+    cache_stats,
+    updates_applied: int,
+    flush_invalidations: int,
+    lut: LifetimeLUT | None,
+) -> SimulationResult:
+    """Common result assembly for both engines."""
+    return assemble_result(
+        config,
+        trace.name,
+        trace.horizon,
+        bank_stats,
+        cache_stats,
+        updates_applied,
+        flush_invalidations,
+        lut,
     )
 
 

@@ -1,10 +1,21 @@
-"""Simulation driver with memoization.
+"""Simulation driver on top of the campaign store.
 
 Tables II-IV share many (benchmark, configuration) runs — e.g. the
 static M=4 runs appear in Tables I, II and III — so the runner caches
-:class:`~repro.core.results.SimulationResult` objects keyed by the full
-configuration. Everything funnels through :meth:`ExperimentRunner.run`,
-which dispatches through :func:`~repro.core.simulator.simulate` with
+:class:`~repro.core.results.SimulationResult` objects. Since the
+campaign redesign the cache *is* a
+:class:`~repro.campaign.store.CampaignStore`: every run is keyed by the
+content hashes of its declarative trace spec and its **full**
+:class:`~repro.core.config.ArchitectureConfig` (so ``ways``,
+``update_events``, ``breakeven_override`` and a custom
+:class:`~repro.power.energy.TechnologyParams` all participate — the old
+positional-tuple memo key could not even express them). The store's
+in-memory tier preserves the classic memo-dict contract (repeated runs
+return the *same* object); pointing the runner at a directory-backed
+store makes every table run resumable across processes, with persisted
+records rebuilt into bit-identical results.
+
+Everything funnels through :func:`~repro.core.simulator.simulate` with
 the engine named by :attr:`ExperimentSettings.engine` (``auto`` by
 default), so any geometry — including set-associative ones — works.
 Each cached trace also carries a shared
@@ -18,6 +29,8 @@ from dataclasses import dataclass, field
 
 from repro.aging.lut import LifetimeLUT
 from repro.cache.geometry import CacheGeometry
+from repro.campaign.codec import config_hash
+from repro.campaign.store import CampaignStore
 from repro.core.config import ArchitectureConfig
 from repro.core.plan import TracePlan
 from repro.core.results import SimulationResult
@@ -27,7 +40,7 @@ from repro.experiments.suite import ExperimentSettings, TraceCache
 
 @dataclass
 class ExperimentRunner:
-    """Runs (benchmark, configuration) pairs with caching.
+    """Runs (benchmark, configuration) pairs with content-hash caching.
 
     Parameters
     ----------
@@ -35,21 +48,30 @@ class ExperimentRunner:
         Shared experiment settings.
     lut:
         Lifetime LUT; defaults to the calibrated shared instance.
+    store:
+        Result store; defaults to a fresh memory-only
+        :class:`CampaignStore`. Pass a directory-backed store to
+        persist every run and to resume from earlier processes.
     """
 
     settings: ExperimentSettings = field(default_factory=ExperimentSettings)
     lut: LifetimeLUT | None = None
+    store: CampaignStore = field(default=None)  # type: ignore[assignment]
     _traces: TraceCache = field(default=None)  # type: ignore[assignment]
-    _results: dict = field(default_factory=dict)
     # One TracePlan per cached trace, keyed like the TraceCache itself
     # (benchmark, geometry) — a stale plan can then never outlive its
     # trace unnoticed: a regenerated trace gets a fresh plan via the
     # matches() check below.
     _plans: dict = field(default_factory=dict)
+    # Trace-spec hashes are pure functions of (benchmark, geometry,
+    # settings); memoized so the hot run() path hashes each trace once.
+    _trace_hashes: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self._traces is None:
             self._traces = TraceCache(self.settings)
+        if self.store is None:
+            self.store = CampaignStore()
         if self.lut is None:
             self.lut = LifetimeLUT.default()
 
@@ -73,6 +95,40 @@ class ExperimentRunner:
             ),
         )
 
+    def _trace_hash(self, benchmark: str, geometry: CacheGeometry) -> str:
+        key = (benchmark, geometry)
+        cached = self._trace_hashes.get(key)
+        if cached is None:
+            cached = self._trace_hashes[key] = self._traces.spec_for(
+                benchmark, geometry
+            ).trace_hash()
+        return cached
+
+    def run_config(
+        self, benchmark: str, config: ArchitectureConfig
+    ) -> SimulationResult:
+        """Run (memoized) one benchmark on one *full* configuration.
+
+        The store key is ``(trace_hash, config_hash)``, so every config
+        field participates — two configs differing only in e.g.
+        ``update_events`` or technology coefficients never alias.
+        Results already in the store (from this process, or from its
+        directory) are returned without simulating.
+        """
+        key = (self._trace_hash(benchmark, config.geometry), config_hash(config))
+        result = self.store.get_result(key, lut=self.lut)
+        if result is None:
+            trace = self._traces.get(benchmark, config.geometry)
+            plan_key = (benchmark, config.geometry)
+            plan = self._plans.get(plan_key)
+            if plan is None or not plan.matches(trace):
+                plan = self._plans[plan_key] = TracePlan(trace)
+            result = simulate(
+                config, trace, self.lut, engine=self.settings.engine, plan=plan
+            )
+            self.store.put(key, result)
+        return result
+
     def run(
         self,
         benchmark: str,
@@ -82,21 +138,12 @@ class ExperimentRunner:
         policy: str,
         power_managed: bool = True,
     ) -> SimulationResult:
-        """Run (memoized) one benchmark on one configuration."""
-        key = (benchmark, size_bytes, line_bytes, num_banks, policy, power_managed)
-        if key not in self._results:
-            config = self.config(
-                size_bytes, line_bytes, num_banks, policy, power_managed
-            )
-            trace = self._traces.get(benchmark, config.geometry)
-            plan_key = (benchmark, config.geometry)
-            plan = self._plans.get(plan_key)
-            if plan is None or not plan.matches(trace):
-                plan = self._plans[plan_key] = TracePlan(trace)
-            self._results[key] = simulate(
-                config, trace, self.lut, engine=self.settings.engine, plan=plan
-            )
-        return self._results[key]
+        """Classic positional entry point (thin wrapper over
+        :meth:`run_config` with the settings-derived update period)."""
+        return self.run_config(
+            benchmark,
+            self.config(size_bytes, line_bytes, num_banks, policy, power_managed),
+        )
 
     # ------------------------------------------------------------------
     # The three standard views used by the tables
@@ -116,7 +163,13 @@ class ExperimentRunner:
         )
 
     def clear(self) -> None:
-        """Drop cached traces, plans and results."""
+        """Drop cached traces, plans and in-memory results.
+
+        A directory-backed store keeps its on-disk records; only the
+        live tier is dropped, so cleared runs re-read (and re-verify)
+        rather than re-simulate.
+        """
         self._traces.clear()
-        self._results.clear()
         self._plans.clear()
+        self._trace_hashes.clear()
+        self.store.clear_memory()

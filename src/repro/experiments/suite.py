@@ -118,6 +118,27 @@ class TraceCache:
             self._traces[key] = generator.generate(profile_for(benchmark))
         return self._traces[key]
 
+    def spec_for(self, benchmark: str, geometry: CacheGeometry):
+        """The declarative :class:`~repro.campaign.tracespec.TraceSpec`
+        naming exactly the trace :meth:`get` would generate.
+
+        Kept next to :meth:`get` so the two can never drift: both read
+        the same settings fields, and the spec's content hash therefore
+        identifies this cache's traces in a
+        :class:`~repro.campaign.store.CampaignStore`.
+        """
+        from repro.campaign.tracespec import TraceSpec
+
+        return TraceSpec.synthetic(
+            benchmark,
+            size_bytes=geometry.size_bytes,
+            line_size=geometry.line_size,
+            ways=geometry.ways,
+            num_windows=self.settings.num_windows,
+            window_cycles=self.settings.window_cycles,
+            master_seed=self.settings.master_seed,
+        )
+
     def clear(self) -> None:
         """Drop all cached traces."""
         self._traces.clear()

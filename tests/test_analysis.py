@@ -55,6 +55,34 @@ class TestSweep:
             p.value("lifetime_years") for p in result
         )
 
+    def test_best_minimize(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(base, trace, {"num_banks": [2, 4, 8]}, lut)
+        worst = result.best("energy_pj", maximize=False)
+        assert worst.value("energy_pj") == min(p.value("energy_pj") for p in result)
+        assert worst.value("energy_pj") <= result.best("energy_pj").value("energy_pj")
+
+    def test_where_chained_constraints(self, base_and_trace, lut):
+        base, trace = base_and_trace
+        result = sweep(
+            base,
+            trace,
+            {"num_banks": [2, 4], "policy": ["static", "probing"],
+             "breakeven_override": [None, 50]},
+            lut,
+        )
+        chained = result.where(policy="probing").where(num_banks=4)
+        assert len(chained) == 2
+        assert all(
+            p.parameters["policy"] == "probing" and p.parameters["num_banks"] == 4
+            for p in chained
+        )
+        # Chaining is identical to one multi-constraint call, and a
+        # contradictory chain empties cleanly.
+        combined = result.where(policy="probing", num_banks=4)
+        assert [p.parameters for p in chained] == [p.parameters for p in combined]
+        assert len(chained.where(breakeven_override=50).where(policy="static")) == 0
+
     def test_rejects_unknown_axis(self, base_and_trace, lut):
         base, trace = base_and_trace
         with pytest.raises(ConfigurationError):

@@ -67,6 +67,19 @@ class TestCLI:
         assert main(["sweep", "--breakevens", "5,x"]) == 2
         assert "comma-separated integers" in capsys.readouterr().err
 
+    def test_sweep_save_writes_loadable_results(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--windows", "40", "--banks", "2",
+             "--policies", "static,probing", "--save", str(path)]
+        ) == 0
+        assert "saved 2 results" in capsys.readouterr().out
+        from repro.core.serialize import load_results
+
+        records = load_results(path)
+        assert len(records) == 2
+        assert records[0].architecture().num_banks == 2
+
     def test_engine_flag_accepted(self, capsys):
         """--engine threads through to the runner settings; the cheap
         cell command just checks the flag parses."""
@@ -91,3 +104,65 @@ class TestCLI:
         assert main(["--quick", "headline"]) == 0
         out = capsys.readouterr().out
         assert "power management only" in out
+
+
+class TestCampaignCLI:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-test",
+                    "traces": [
+                        {"kind": "synthetic",
+                         "params": {"benchmark": "sha", "num_windows": 40}}
+                    ],
+                    "base": {
+                        "geometry": {"size_bytes": 8192, "line_size": 16},
+                        "num_banks": 4,
+                        "policy": "probing",
+                        "update_period_cycles": 5120,
+                    },
+                    "axes": {"num_banks": [2, 4]},
+                }
+            )
+        )
+        return path
+
+    def test_run_then_rerun_reuses_everything(self, capsys, spec_path, tmp_path):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated 2, reused 0" in out
+        assert "sha" in out
+        assert main(["campaign", "run", str(spec_path), "--dir", str(store)]) == 0
+        assert "simulated 0, reused 2" in capsys.readouterr().out
+
+    def test_status_tracks_store_coverage(self, capsys, spec_path, tmp_path):
+        store = tmp_path / "store"
+        assert main(["campaign", "status", str(spec_path), "--dir", str(store)]) == 0
+        assert "0/2 points done, 2 missing" in capsys.readouterr().out
+        assert main(["campaign", "run", str(spec_path), "--dir", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(spec_path), "--dir", str(store)]) == 0
+        assert "2/2 points done, 0 missing" in capsys.readouterr().out
+
+    def test_show_renders_store_and_saved_files(self, capsys, spec_path, tmp_path):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--dir", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "show", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 stored records" in out
+        assert "sha" in out
+
+    def test_bad_spec_reports_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        assert main(["campaign", "run", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["campaign", "run", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
