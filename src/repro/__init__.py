@@ -40,10 +40,17 @@ from repro.aging import CharacterizationFramework, LifetimeLUT, NBTIModel, SRAMC
 from repro.cache import BankedCache, CacheGeometry, DirectMappedCache, SetAssociativeCache
 from repro.core import (
     ArchitectureConfig,
+    Engine,
     FastSimulator,
+    Measurement,
+    Metric,
     ReferenceSimulator,
     SimulationResult,
     TracePlan,
+    engine_names,
+    metric_names,
+    register_engine,
+    register_metric,
     simulate,
     summarize,
 )
@@ -63,7 +70,7 @@ from repro.campaign import (
 from repro.core.serialize import ResultRecord, load_results, save_results
 from repro.errors import ReproError
 from repro.experiments import ExperimentRunner, ExperimentSettings
-from repro.finegrain import FineGrainConfig, FineGrainSimulator
+from repro.finegrain import FineGrainConfig, FineGrainEngine, FineGrainSimulator
 from repro.hw.overhead import estimate_overhead
 from repro.indexing import make_policy
 from repro.power import EnergyModel, TechnologyParams, breakeven_cycles
@@ -86,6 +93,13 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "summarize",
+    "Engine",
+    "register_engine",
+    "engine_names",
+    "Metric",
+    "Measurement",
+    "register_metric",
+    "metric_names",
     "Trace",
     "WorkloadGenerator",
     "profile_for",
@@ -101,6 +115,7 @@ __all__ = [
     "ExperimentSettings",
     "FineGrainConfig",
     "FineGrainSimulator",
+    "FineGrainEngine",
     "sweep",
     "pareto_front",
     "estimate_overhead",

@@ -33,10 +33,10 @@ from dataclasses import dataclass, replace
 
 from repro.aging.lut import LifetimeLUT
 from repro.core.config import ArchitectureConfig
-from repro.core.fastsim import run_breakeven_group
+from repro.core.engine import resolve_engine, validate_engine
 from repro.core.plan import TracePlan
 from repro.core.results import SimulationResult
-from repro.core.simulator import simulate, validate_engine
+from repro.core.simulator import simulate
 from repro.errors import ConfigurationError
 from repro.trace.trace import Trace
 
@@ -111,8 +111,28 @@ _worker_lut: LifetimeLUT | None = None
 _worker_plan: TracePlan | None = None
 
 
-def _init_worker(trace: Trace, lut: LifetimeLUT) -> None:
-    """Pool initializer: receive the shared trace/LUT once per worker."""
+def _init_worker(
+    trace: Trace,
+    lut: LifetimeLUT,
+    engines: tuple = (),
+    metrics: tuple = (),
+    templates: tuple = (),
+) -> None:
+    """Pool initializer: shared trace/LUT plus the parent's plugins.
+
+    Built-in engines/metrics/templates re-register themselves in every
+    process via imports, but plugin registrations only exist in the
+    parent — under a ``spawn``/``forkserver`` start method a worker
+    would otherwise not know a custom engine name (crash) or silently
+    drop a custom metric's values. The parent's custom registry entries
+    therefore travel here, once per worker (they must pickle).
+    """
+    from repro.core.engine import install_engines
+    from repro.core.metrics import install_metrics, install_templates
+
+    install_templates(templates)
+    install_metrics(metrics)
+    install_engines(engines)
     global _worker_trace, _worker_lut, _worker_plan
     _worker_trace = trace
     _worker_lut = lut
@@ -165,13 +185,18 @@ def _simulate_combos(
 ) -> list[SimulationResult]:
     """Simulate combos in order, batching breakeven-only groups.
 
-    The reference engine has no plan/batch fast path, so it (and any
-    grid without a breakeven axis) falls back to per-point dispatch.
-    ``on_result(position, result)`` is invoked as soon as each point's
-    result exists (per point, or per breakeven group), which is what
-    lets a campaign persist finished work before the batch completes.
+    The breakeven-group fast path is an engine *capability*: it is
+    taken only when the engine resolved for this grid exposes a
+    ``run_group`` method (the fast engine does, and ``auto`` resolves
+    to it for every banked configuration). Engines without one — the
+    reference oracle, the fine-grain template, any registered custom
+    engine — and grids without a breakeven axis fall back to per-point
+    dispatch. ``on_result(position, result)`` is invoked as soon as
+    each point's result exists (per point, or per breakeven group),
+    which is what lets a campaign persist finished work before the
+    batch completes.
     """
-    if engine == "reference" or group_ids is None:
+    if group_ids is None:
         results = []
         for position, combo in enumerate(combos):
             result = simulate(
@@ -194,8 +219,20 @@ def _simulate_combos(
             replace(base, **dict(zip(names, combos[position])))
             for position in members
         ]
+        # Resolve per group, not per grid: other axes (geometry, bank
+        # count, ...) vary across groups and may resolve "auto" — or an
+        # explicit engine's supports() — differently; within a group,
+        # configs differ only in breakeven_override.
+        run_group = getattr(resolve_engine(engine, configs[0]), "run_group", None)
+        if run_group is None:
+            for position, config in zip(members, configs):
+                result = simulate(config, trace, lut, engine=engine, plan=plan)
+                results[position] = result
+                if on_result is not None:
+                    on_result(position, result)
+            continue
         for position, result in zip(
-            members, run_breakeven_group(configs, trace, lut=lut, plan=plan)
+            members, run_group(configs, trace, lut=lut, plan=plan)
         ):
             results[position] = result
             if on_result is not None:
@@ -268,11 +305,20 @@ def simulate_selected(
     shared_lut = lut if lut is not None else LifetimeLUT.default()
     workers = min(parallel or 1, len(combos))
     if workers > 1:
+        from repro.core.engine import custom_engines
+        from repro.core.metrics import custom_metrics, custom_templates
+
         payloads = _chunk_payloads(base, names, combos, group_ids, engine, workers)
         with ProcessPoolExecutor(
             max_workers=len(payloads),
             initializer=_init_worker,
-            initargs=(trace, shared_lut),
+            initargs=(
+                trace,
+                shared_lut,
+                custom_engines(),
+                custom_metrics(),
+                custom_templates(),
+            ),
         ) as pool:
             results: list[SimulationResult] = []
             # pool.map yields chunks in submission order as they

@@ -84,6 +84,15 @@ class BankedCache:
     def access(self, address: int) -> tuple[AccessOutcome, DecodedAccess]:
         """Perform one access; return its outcome and the routing record."""
         tag, index, _ = self.geometry.split(address)
+        return self.access_split(tag, index)
+
+    def access_split(self, tag: int, index: int) -> tuple[AccessOutcome, DecodedAccess]:
+        """Access with a pre-split ``(tag, index)`` pair.
+
+        Same machine as :meth:`access`; lets a caller holding the
+        memoized decode of a :class:`~repro.core.plan.TracePlan` skip
+        re-splitting every address.
+        """
         decoded = self.decoder.decode(index)
         # Extended tag: original tag plus the logical bank bits (see
         # module docstring for why this is safe and convenient).

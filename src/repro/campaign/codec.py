@@ -236,3 +236,19 @@ def config_from_dict(payload: dict) -> ArchitectureConfig:
 def config_hash(config: ArchitectureConfig) -> str:
     """Content hash identifying ``config`` exactly (see module docstring)."""
     return content_hash(config_to_dict(config))
+
+
+def config_result_hash(config: ArchitectureConfig, family: str = "banked") -> str:
+    """Identity of *a result* for ``config`` under a result family.
+
+    Engines in the default ``"banked"`` family (fast, reference, auto)
+    are bit-identical by construction, so their identity is plain
+    :func:`config_hash` — byte-compatible with every store written
+    before families existed. Engines that simulate a different machine
+    (e.g. ``finegrain``) mix their family into the hash so their
+    records never alias banked ones for the same configuration.
+    """
+    base = config_hash(config)
+    if family == "banked":
+        return base
+    return content_hash({"family": family, "config_hash": base})

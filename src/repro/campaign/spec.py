@@ -36,7 +36,7 @@ from typing import Iterator
 from repro.campaign.codec import (
     CodecError,
     config_from_dict,
-    config_hash,
+    config_result_hash,
     config_to_dict,
     content_hash,
     geometry_from_dict,
@@ -91,15 +91,25 @@ def _decode_axis_value(name: str, value):
 
 @dataclass(frozen=True)
 class CampaignPointSpec:
-    """One fully substituted grid point of a campaign."""
+    """One fully substituted grid point of a campaign.
+
+    ``family`` is the engine's *result family* (see
+    :func:`repro.core.engine.result_family`): banked engines share
+    store entries, engines simulating a different machine get their own
+    point identities.
+    """
 
     trace: TraceSpec
     parameters: dict
     config: ArchitectureConfig
+    family: str = "banked"
 
     def key(self) -> tuple[str, str]:
-        """The store key ``(trace_hash, config_hash)``."""
-        return (self.trace.trace_hash(), config_hash(self.config))
+        """The store key ``(trace_hash, result hash)``."""
+        return (
+            self.trace.trace_hash(),
+            config_result_hash(self.config, self.family),
+        )
 
 
 @dataclass(frozen=True)
@@ -120,9 +130,13 @@ class CampaignSpec:
         :class:`ArchitectureConfig` field). May be empty: the campaign
         then runs exactly the base config per trace.
     engine:
-        Engine selector forwarded to the sweep engine. Part of the spec
-        hash (it describes *how* to run), but engines are bit-identical
-        by construction so store entries are shared across engines.
+        Engine selector forwarded to the sweep engine; any name in the
+        engine registry (``repro engines``) is valid. Part of the spec
+        hash (it describes *how* to run). Engines of the same *result
+        family* are bit-identical by construction, so their store
+        entries are shared (``fast``/``reference``/``auto``); engines
+        of a different family (``finegrain``) key their records
+        separately.
     """
 
     name: str
@@ -132,7 +146,10 @@ class CampaignSpec:
     engine: str = "auto"
 
     def __post_init__(self) -> None:
-        from repro.core.simulator import validate_engine
+        # Registry-backed: any engine registered via register_engine()
+        # is a valid campaign engine; unknown names fail here with the
+        # registered list in the message.
+        from repro.core.engine import validate_engine
 
         if not self.traces:
             raise CodecError("a campaign needs at least one trace spec")
@@ -175,7 +192,10 @@ class CampaignSpec:
         is invalid (e.g. a dynamic policy with one bank) — a campaign
         grid must be fully valid before anything runs.
         """
+        from repro.core.engine import result_family
+
         names = self.axis_names
+        family = result_family(self.engine)
         points = []
         for combo in self.combos():
             parameters = dict(zip(names, combo))
@@ -184,6 +204,7 @@ class CampaignSpec:
                     trace=trace,
                     parameters=parameters,
                     config=replace(self.base, **parameters),
+                    family=family,
                 )
             )
         return points

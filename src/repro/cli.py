@@ -11,10 +11,12 @@ Commands reproduce the paper's artifacts from the terminal::
     repro arch              # structural summary / overhead report
     repro policies          # probing vs scrambling uniformity convergence
     repro profile <bench>   # characterize a synthetic workload
+    repro engines           # registered simulation engines
+    repro metrics           # registered derived metrics
     repro sweep             # design-space sweep on one workload
     repro campaign run s.json --dir DIR     # resumable spec-file campaign
     repro campaign status s.json --dir DIR  # store coverage of a spec
-    repro campaign show PATH                # render a campaign dir or results file
+    repro campaign show PATH [--metric X]   # render a campaign dir or results file
 
 ``--quick`` runs a reduced benchmark set with shorter traces — useful
 for smoke checks; the full run takes a couple of minutes.
@@ -36,7 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.simulator import ENGINE_NAMES
+from repro.core.engine import engine_names
 from repro.experiments.compare import (
     compare_table1,
     compare_table2,
@@ -136,6 +138,39 @@ def _cmd_arch(args: argparse.Namespace) -> int:
     print(f"  supply selector       : {overhead.selector_ge:.0f} GE")
     print(f"  total ~{overhead.total_ge:.0f} GE (~{overhead.area_um2:.0f} um2 at 45nm), "
           f"access-path depth {overhead.critical_path_gates} gates")
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.core.engine import registered_engines
+
+    print("registered simulation engines (select with --engine):")
+    print(f"  {'auto':<12} highest-priority auto-eligible engine "
+          "supporting the configuration")
+    for engine in registered_engines():
+        flags = []
+        if not getattr(engine, "auto_eligible", True):
+            flags.append("explicit-only")
+        family = getattr(engine, "family", "banked")
+        if family != "banked":
+            flags.append(f"family={family}")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        print(f"  {engine.name:<12} {engine.description}{suffix}")
+        requires = getattr(engine, "requires", "")
+        if requires:
+            print(f"  {'':<12} requires {requires}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.core.metrics import registered_metrics
+
+    print("registered derived metrics (values recomputable from stored "
+          "counters; select values with campaign show --metric):")
+    for metric in registered_metrics():
+        mode = "eager" if metric.eager else "lazy"
+        print(f"  {metric.name:<18} [{mode}] {metric.description}")
+        print(f"  {'':<18} values: {', '.join(metric.provides)}")
     return 0
 
 
@@ -240,18 +275,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render_records(records) -> None:
-    """Shared results table for ``campaign run`` and ``campaign show``."""
-    print(f"{'trace':>12} {'banks':>5} {'policy':>11} {'hit-rate':>8} "
-          f"{'Esav':>7} {'LT':>7}")
+def _format_metric_cell(value) -> str:
+    """18-wide cell for a metric value (payloads may be non-numeric)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value:>18.6g}"
+    return f"{str(value):>18}"
+
+
+def _render_records(records, metrics: tuple[str, ...] = ()) -> None:
+    """Shared results table for ``campaign run`` and ``campaign show``.
+
+    ``metrics`` adds one column per named metric *value*, recomputed
+    from each record's stored counters (so metrics registered after the
+    store was written still render). v1 records, whose counters are
+    incomplete, show ``-``.
+    """
+    from repro.core.serialize import SerializationError
+
+    header = (f"{'trace':>12} {'banks':>5} {'policy':>11} {'hit-rate':>8} "
+              f"{'Esav':>7} {'LT':>7}")
+    for name in metrics:
+        header += f" {name:>18}"
+    print(header)
     for record in records:
-        print(
+        row = (
             f"{record.trace_name:>12} "
             f"{record.config.get('num_banks', '?'):>5} "
             f"{record.config.get('policy', '?'):>11} "
             f"{record.hit_rate:>8.2%} {record.energy_savings:>7.2%} "
             f"{record.lifetime_years:>6.2f}y"
         )
+        if metrics:
+            try:
+                # One rebuild per record, however many columns.
+                result = record.to_result()
+            except SerializationError:
+                result = None  # v1: counters incomplete
+            for name in metrics:
+                if result is None:
+                    row += f" {'-':>18}"
+                else:
+                    row += f" {_format_metric_cell(result.metric(name))}"
+        print(row)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -270,7 +335,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             else:
                 records = load_results(path)
                 print(f"{path}: {len(records)} saved results")
-            _render_records(records)
+            _render_records(records, metrics=tuple(args.metric))
             return 0
 
         spec = CampaignSpec.load(args.spec)
@@ -329,9 +394,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="reduced benchmark set")
     parser.add_argument(
         "--engine",
-        choices=list(ENGINE_NAMES),
+        choices=list(engine_names()),
         default="auto",
-        help="simulation engine (auto picks the fastest supporting one)",
+        help="simulation engine (auto picks the fastest supporting one; "
+        "see `repro engines`)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -352,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p_pol = sub.add_parser("policies", help="probing vs scrambling uniformity")
     p_pol.add_argument("--banks", type=int, default=4, help="number of banks M")
+
+    sub.add_parser("engines", help="list registered simulation engines")
+    sub.add_parser("metrics", help="list registered derived metrics")
 
     p_prof = sub.add_parser("profile", help="characterize a benchmark workload")
     p_prof.add_argument("benchmark", help="benchmark name (e.g. adpcm.dec)")
@@ -413,6 +482,14 @@ def main(argv: list[str] | None = None) -> int:
         "show", help="render a campaign directory or a saved results file"
     )
     p_show.add_argument("path", help="campaign --dir or a save_results JSON file")
+    p_show.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="VALUE",
+        help="extra column: a metric value recomputed from the stored "
+        "counters (repeatable; see `repro metrics`)",
+    )
 
     args = parser.parse_args(argv)
     if args.command in _TABLES:
@@ -425,6 +502,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_arch(args)
     if args.command == "policies":
         return _cmd_policies(args)
+    if args.command == "engines":
+        return _cmd_engines(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "sweep":

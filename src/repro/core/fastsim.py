@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.cache.stats import CacheStats
 from repro.core.config import ArchitectureConfig
+from repro.core.engine import Engine, register_engine
 from repro.core.plan import TracePlan, ensure_plan
 from repro.core.results import SimulationResult
 from repro.core.simulator import _effective_breakeven, _finish
@@ -305,4 +306,34 @@ def run_breakeven_group(
             )
         )
     return results
+
+
+class FastEngine(Engine):
+    """Registry adapter for :class:`FastSimulator`.
+
+    Highest-priority ``auto`` candidate: it covers every
+    :class:`~repro.core.config.ArchitectureConfig` and is bit-identical
+    to the reference oracle. Also exposes the breakeven-group batched
+    fast path through ``run_group``, which the sweep engine uses to
+    evaluate a whole ``breakeven_override`` axis from one gap
+    computation.
+    """
+
+    name = "fast"
+    description = "vectorized numpy engine, bit-identical to the reference"
+    priority = 10
+
+    def supports(self, config) -> bool:
+        return isinstance(config, ArchitectureConfig)
+
+    def run(self, config, trace, lut=None, plan=None):
+        return FastSimulator(config, lut, plan=plan).run(trace)
+
+    @staticmethod
+    def run_group(configs, trace, lut=None, plan=None):
+        """Batched evaluation of a breakeven-only config group."""
+        return run_breakeven_group(configs, trace, lut=lut, plan=plan)
+
+
+register_engine(FastEngine())
 

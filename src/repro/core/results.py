@@ -1,13 +1,17 @@
 """Simulation results.
 
-Both engines produce a :class:`SimulationResult`; the experiment harness
-and examples read everything — energy savings, idleness distribution,
-lifetime, hit rates — from this one object.
+Every engine produces a :class:`SimulationResult`; the experiment
+harness and examples read everything — energy savings, idleness
+distribution, lifetime, hit rates — from this one object. Derived
+quantities beyond the classic fields live in the :attr:`metrics`
+mapping, filled by the registered
+:class:`~repro.core.metrics.Metric` objects from the measured counters
+(so they can always be recomputed from a serialized record).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.aging.lifetime import CacheLifetimeReport
 from repro.cache.stats import CacheStats
@@ -29,7 +33,9 @@ class SimulationResult:
     total_cycles:
         Simulated horizon.
     bank_stats:
-        Per-physical-bank idleness/activity counters.
+        Per-power-domain idleness/activity counters — one per physical
+        bank for the banked engines, one per cache *line* for the
+        fine-grain engine (see :attr:`template`).
     cache_stats:
         Hit/miss/flush counters (whole cache).
     updates_applied:
@@ -37,13 +43,18 @@ class SimulationResult:
     flush_invalidations:
         Valid lines dropped by update-induced flushes.
     bank_energy:
-        Per-bank energy breakdowns (pJ).
+        Per-domain energy breakdowns (pJ).
     energy_pj:
         Total energy of the simulated cache (pJ).
     baseline_energy_pj:
         Energy of the unmanaged monolithic reference on the same trace.
     lifetime:
-        Bank/cache lifetime report.
+        Domain/cache lifetime report.
+    metrics:
+        Named derived values from the registered metrics (plus any
+        engine-provided payloads); see :meth:`metric`.
+    template:
+        Counter template: ``"banked"`` or ``"finegrain"``.
     """
 
     config: ArchitectureConfig
@@ -57,6 +68,49 @@ class SimulationResult:
     energy_pj: float
     baseline_energy_pj: float
     lifetime: CacheLifetimeReport
+    metrics: dict = field(default_factory=dict)
+    template: str = "banked"
+
+    # ------------------------------------------------------------------
+    # Metrics access
+    # ------------------------------------------------------------------
+    def measurement(self):
+        """The counter substrate this result was assembled from."""
+        from repro.core.metrics import Measurement
+
+        return Measurement(
+            config=self.config,
+            trace_name=self.trace_name,
+            total_cycles=self.total_cycles,
+            bank_stats=self.bank_stats,
+            cache_stats=self.cache_stats,
+            updates_applied=self.updates_applied,
+            flush_invalidations=self.flush_invalidations,
+            template=self.template,
+        )
+
+    def metric(self, name: str, lut=None):
+        """Read metric value ``name``, computing lazy metrics on demand.
+
+        With ``lut=None``, eager metrics (and engine payloads) come
+        straight from :attr:`metrics`. Passing an explicit ``lut``
+        forces recomputation from the counters under *that* LUT — the
+        stored values were derived with the run's LUT and would
+        otherwise be returned silently. Values no registered metric
+        provides (engine payloads) are LUT-independent and always read
+        from :attr:`metrics`.
+        """
+        if lut is None and name in self.metrics:
+            return self.metrics[name]
+        from repro.core.metrics import compute_metric
+        from repro.errors import UnknownMetricError
+
+        try:
+            return compute_metric(self.measurement(), name, lut=lut)
+        except UnknownMetricError:
+            if name in self.metrics:
+                return self.metrics[name]
+            raise
 
     # ------------------------------------------------------------------
     # Derived views
@@ -64,27 +118,29 @@ class SimulationResult:
     @property
     def energy_savings(self) -> float:
         """Fractional saving vs the unmanaged monolithic cache (Esav)."""
+        if self.baseline_energy_pj == 0:
+            return 0.0
         return 1.0 - self.energy_pj / self.baseline_energy_pj
 
     @property
     def bank_idleness(self) -> tuple[float, ...]:
-        """Useful idleness of each physical bank (Table I's I_j)."""
+        """Useful idleness of each power domain (Table I's I_j)."""
         return tuple(s.useful_idleness for s in self.bank_stats)
 
     @property
     def average_idleness(self) -> float:
-        """Mean bank idleness — the power-relevant aggregate."""
+        """Mean domain idleness — the power-relevant aggregate."""
         values = self.bank_idleness
         return sum(values) / len(values)
 
     @property
     def worst_idleness(self) -> float:
-        """Minimum bank idleness — the aging-relevant aggregate."""
+        """Minimum domain idleness — the aging-relevant aggregate."""
         return min(self.bank_idleness)
 
     @property
     def lifetime_years(self) -> float:
-        """Cache lifetime (worst bank) in years."""
+        """Cache lifetime (worst domain) in years."""
         return self.lifetime.cache_lifetime_years
 
     @property
@@ -99,7 +155,14 @@ class SimulationResult:
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
-        idle = ", ".join(f"{v:.1%}" for v in self.bank_idleness)
+        values = self.bank_idleness
+        if len(values) > 8:
+            idle = (
+                f"min {min(values):.1%}, max {max(values):.1%} "
+                f"over {len(values)} domains"
+            )
+        else:
+            idle = ", ".join(f"{v:.1%}" for v in values)
         return (
             f"{self.trace_name or 'trace'} on {self.config.num_banks}-bank "
             f"{self.config.geometry.size_bytes // 1024}kB cache "

@@ -9,11 +9,20 @@ Format version 2 records are **exact**: the config payload is the full
 :mod:`repro.campaign.codec` encoding (geometry with ``ways``,
 ``update_events``, ``breakeven_override``, the complete
 :class:`~repro.power.energy.TechnologyParams`, ``frequency_hz``) and the
-per-bank activity counters are stored in full, so a record can rebuild
+per-domain activity counters are stored in full, so a record can rebuild
 the identical :class:`~repro.core.config.ArchitectureConfig`
 (:meth:`ResultRecord.architecture`) and the bit-identical
-:class:`SimulationResult` (:meth:`ResultRecord.to_result`) — energy and
-lifetime are deterministic functions of config + counters.
+:class:`SimulationResult` (:meth:`ResultRecord.to_result`) — energy,
+lifetime and every registered :class:`~repro.core.metrics.Metric` are
+deterministic functions of config + counters, which is why
+:meth:`ResultRecord.metric` works *retroactively*: metrics registered
+after a record was written still compute from it without resimulation.
+Two optional v2 keys were added with the metrics pipeline and default
+sensibly when absent (older files load unchanged): ``template`` (the
+counter semantics — ``"banked"`` banks or ``"finegrain"`` lines) and
+``metrics`` (the values computed at write time; registered metrics are
+recomputed on read, stored values only survive for engine payloads no
+registered metric reproduces).
 
 Version 1 files (the old lossy summary) still load: the reader migrates
 their config summary into a best-effort v2 payload — geometry and
@@ -80,6 +89,20 @@ def write_json_atomic(path: str | os.PathLike, payload) -> None:
         raise
 
 
+def _jsonify_metric_value(value):
+    """Metric values as plain JSON types (numpy scalars/tuples included)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify_metric_value(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
 def result_to_dict(result: SimulationResult) -> dict:
     """Flatten a result into JSON-safe types (format version 2)."""
     # Imported lazily: repro.campaign imports this module for atomic
@@ -90,6 +113,11 @@ def result_to_dict(result: SimulationResult) -> dict:
     bank_stats = result.bank_stats
     return {
         "version": FORMAT_VERSION,
+        "template": result.template,
+        "metrics": {
+            name: _jsonify_metric_value(value)
+            for name, value in sorted(result.metrics.items())
+        },
         "config": config_to_dict(result.config),
         "trace_name": result.trace_name,
         "total_cycles": result.total_cycles,
@@ -169,6 +197,14 @@ class ResultRecord:
     bank_idle_cycles: tuple[int, ...] | None = None
     bank_sleep_cycles: tuple[int, ...] | None = None
     bank_total_cycles: tuple[int, ...] | None = None
+    #: Counter template ("banked" or "finegrain"); files written before
+    #: the metrics pipeline carry no template key and default to banked.
+    template: str = "banked"
+    #: The metrics mapping stored at write time. Registered metrics are
+    #: always *recomputed* from the counters on read (so metrics added
+    #: after the file was written still appear); stored values only
+    #: survive for engine payloads no registered metric reproduces.
+    stored_metrics: dict | None = None
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResultRecord":
@@ -211,6 +247,12 @@ class ResultRecord:
                 bank_lifetimes_years=tuple(payload["bank_lifetimes_years"]),
                 limiting_bank=payload["limiting_bank"],
                 hit_rate=payload["hit_rate"],
+                template=str(payload.get("template", "banked")),
+                stored_metrics=(
+                    dict(payload["metrics"])
+                    if isinstance(payload.get("metrics"), dict)
+                    else None
+                ),
                 **counters,
             )
         except KeyError as exc:
@@ -278,7 +320,24 @@ class ResultRecord:
             updates_applied=self.updates_applied,
             flush_invalidations=self.flush_invalidations,
             lut=lut,
+            template=self.template,
+            extra_metrics=self.stored_metrics,
         )
+
+    def metric(self, name: str, lut=None):
+        """Recompute metric value ``name`` from the stored counters.
+
+        Works retroactively: a metric registered *after* this record
+        was written (or a record written before the metrics pipeline
+        existed) is derived from the persisted counters without any
+        resimulation. Lazy metrics are computed on demand.
+
+        Raises
+        ------
+        SerializationError
+            For v1 records, whose counters are incomplete.
+        """
+        return self.to_result(lut).metric(name, lut=lut)
 
 
 def save_results(results, path: str | os.PathLike) -> None:

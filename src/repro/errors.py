@@ -33,6 +33,18 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class UnknownEngineError(ReproError, ValueError):
+    """An engine name is not in the engine registry.
+
+    Derives from :class:`ValueError` as well, so callers that predate
+    the registry (``except ValueError``) keep working.
+    """
+
+
+class UnknownMetricError(ReproError, ValueError):
+    """A metric (or metric value) name is not in the metric registry."""
+
+
 class ModelError(ReproError):
     """An analytical model was evaluated outside its domain of validity."""
 

@@ -29,8 +29,9 @@ from dataclasses import dataclass, field
 
 from repro.aging.lut import LifetimeLUT
 from repro.cache.geometry import CacheGeometry
-from repro.campaign.codec import config_hash
+from repro.campaign.codec import config_result_hash
 from repro.campaign.store import CampaignStore
+from repro.core.engine import result_family
 from repro.core.config import ArchitectureConfig
 from repro.core.plan import TracePlan
 from repro.core.results import SimulationResult
@@ -109,13 +110,18 @@ class ExperimentRunner:
     ) -> SimulationResult:
         """Run (memoized) one benchmark on one *full* configuration.
 
-        The store key is ``(trace_hash, config_hash)``, so every config
+        The store key is ``(trace_hash, result hash)``, so every config
         field participates — two configs differing only in e.g.
-        ``update_events`` or technology coefficients never alias.
-        Results already in the store (from this process, or from its
-        directory) are returned without simulating.
+        ``update_events`` or technology coefficients never alias — and
+        the engine's result family does too, so pointing the runner at
+        the ``finegrain`` engine never reuses a banked record. Results
+        already in the store (from this process, or from its directory)
+        are returned without simulating.
         """
-        key = (self._trace_hash(benchmark, config.geometry), config_hash(config))
+        key = (
+            self._trace_hash(benchmark, config.geometry),
+            config_result_hash(config, result_family(self.settings.engine)),
+        )
         result = self.store.get_result(key, lut=self.lut)
         if result is None:
             trace = self._traces.get(benchmark, config.geometry)

@@ -47,8 +47,9 @@ class ExperimentSettings:
         runs fast.
     engine:
         Simulation engine name forwarded to
-        :func:`~repro.core.simulator.simulate` (``auto``, ``fast`` or
-        ``reference``).
+        :func:`~repro.core.simulator.simulate`: ``auto`` or any name in
+        the engine registry (``fast``, ``reference``, ``finegrain``, or
+        a registered custom engine).
     """
 
     master_seed: int = 2011
@@ -67,13 +68,13 @@ class ExperimentSettings:
             )
         for name in self.benchmarks:
             profile_for(name)  # raises on unknown names
-        from repro.core.simulator import ENGINE_NAMES
+        from repro.core.engine import validate_engine
+        from repro.errors import UnknownEngineError
 
-        if self.engine not in ENGINE_NAMES:
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; known: "
-                f"{', '.join(ENGINE_NAMES)}"
-            )
+        try:
+            validate_engine(self.engine)
+        except UnknownEngineError as exc:
+            raise ConfigurationError(str(exc)) from None
 
     @property
     def horizon(self) -> int:

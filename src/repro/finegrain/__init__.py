@@ -32,11 +32,14 @@ dynamic energy and without touching the array internals.
 """
 
 from repro.finegrain.model import FineGrainConfig, LineEnergyModel
-from repro.finegrain.sim import FineGrainResult, FineGrainSimulator
+from repro.finegrain.sim import FineGrainMeasurement, FineGrainResult, FineGrainSimulator
+from repro.finegrain.engine import FineGrainEngine
 
 __all__ = [
     "FineGrainConfig",
     "LineEnergyModel",
     "FineGrainSimulator",
+    "FineGrainMeasurement",
     "FineGrainResult",
+    "FineGrainEngine",
 ]

@@ -1,0 +1,100 @@
+"""The ``finegrain`` engine: per-line template behind the standard API.
+
+This adapter lets the fine-grain simulator participate in everything
+the banked engines do — ``simulate(engine="finegrain")``, ``sweep()``,
+campaigns, the experiment runner and the CLI ``--engine`` flag — by
+mapping an :class:`~repro.core.config.ArchitectureConfig` onto the
+line-granularity template and emitting a standard
+:class:`~repro.core.results.SimulationResult`:
+
+* the *power domains* of the result are the cache **lines** (one
+  :class:`~repro.power.idleness.BankIdleStats` per line, each observed
+  over the full horizon), so idleness, lifetime and spread metrics read
+  exactly as they do for banks — just at line granularity;
+* ``config.num_banks`` is irrelevant to this template (the array is
+  monolithic with per-line sleep switches) and is ignored;
+* energy is derived under the ``"finegrain"`` measurement template
+  (:class:`~repro.finegrain.model.LineEnergyModel`), recomputable from
+  the stored per-line counters like every other metric;
+* dynamic policies re-index over the **full** n-bit index (the scheme
+  of [7]), not over bank bits — a different machine than the banked
+  engines, which is why this engine is *not* auto-eligible: selecting
+  it must be an explicit modelling decision.
+
+``power_managed=False`` is modelled exactly like the banked engines
+model it: a breakeven larger than any possible gap, so the accounting
+naturally reports zero sleep.
+"""
+
+from __future__ import annotations
+
+from repro.cache.stats import CacheStats
+from repro.core.config import ArchitectureConfig
+from repro.core.engine import Engine, register_engine
+from repro.finegrain.model import FineGrainConfig
+from repro.finegrain.sim import FineGrainSimulator
+
+
+class FineGrainEngine(Engine):
+    """Registry adapter for :class:`~repro.finegrain.sim.FineGrainSimulator`."""
+
+    name = "finegrain"
+    description = (
+        "per-line drowsy template of [7]: lines are the power domains, "
+        "re-indexing permutes the full index"
+    )
+    priority = 5
+    auto_eligible = False
+    requires = "a direct-mapped geometry (ways == 1) and no explicit update_events"
+    # Different machine than fast/reference: campaign stores must not
+    # alias its records with banked ones for the same config.
+    family = "finegrain"
+
+    def supports(self, config) -> bool:
+        return (
+            isinstance(config, ArchitectureConfig)
+            and config.geometry.ways == 1
+            and config.update_events is None
+        )
+
+    @staticmethod
+    def _template_config(config: ArchitectureConfig) -> FineGrainConfig:
+        """The fine-grain reading of an architecture config."""
+        return FineGrainConfig(
+            geometry=config.geometry,
+            policy=config.policy,
+            update_period_cycles=config.update_period_cycles,
+            technology=config.technology,
+            breakeven_override=config.breakeven_override,
+        )
+
+    def run(self, config, trace, lut=None, plan=None):
+        from repro.core.simulator import assemble_result
+
+        template = self._template_config(config)
+        simulator = FineGrainSimulator(template, lut, plan=plan)
+        breakeven = trace.horizon + 1 if not config.power_managed else None
+        measurement = simulator.measure(trace, breakeven=breakeven)
+        cache_stats = CacheStats(
+            hits=measurement.hits,
+            misses=measurement.misses,
+            flushes=measurement.updates_applied,
+        )
+        return assemble_result(
+            config,
+            trace.name,
+            trace.horizon,
+            measurement.line_stats,
+            cache_stats,
+            measurement.updates_applied,
+            measurement.flush_invalidations,
+            lut,
+            template="finegrain",
+            # Engine payload: the effective per-line breakeven differs
+            # from config.breakeven() (bank-level!) and from the stored
+            # counters, so it travels as an extra metric.
+            extra_metrics={"line_breakeven_cycles": float(measurement.breakeven)},
+        )
+
+
+register_engine(FineGrainEngine())

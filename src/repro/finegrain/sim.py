@@ -15,6 +15,16 @@ Re-indexing here permutes the *full* n-bit index:
 Both are bijections, so within an epoch hit/miss behaviour can be
 tracked on the logical index (the simulator flushes on update, exactly
 like the banked cache).
+
+Two front doors share one measurement pass:
+
+* :meth:`FineGrainSimulator.run` — the classic per-line
+  :class:`FineGrainResult` view;
+* :meth:`FineGrainSimulator.measure` — the raw integer counters (one
+  :class:`~repro.power.idleness.BankIdleStats` per *line*), which is
+  what the ``finegrain`` engine adapter
+  (:mod:`repro.finegrain.engine`) assembles into a standard
+  :class:`~repro.core.results.SimulationResult`.
 """
 
 from __future__ import annotations
@@ -27,8 +37,37 @@ from repro.aging.lut import LifetimeLUT
 from repro.core.plan import TracePlan, ensure_plan
 from repro.finegrain.model import FineGrainConfig
 from repro.hw.lfsr import GaloisLFSR
-from repro.power.idleness import idle_gaps_from_sorted_accesses
+from repro.power.idleness import (
+    BankIdleStats,
+    batch_stats_from_gaps,
+    idle_gaps_from_sorted_accesses,
+)
 from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class FineGrainMeasurement:
+    """Integer counters of one fine-grain run (lines are the domains).
+
+    Attributes
+    ----------
+    line_stats:
+        One :class:`BankIdleStats` per line (``total_cycles`` is the
+        trace horizon for every line).
+    hits, misses, updates_applied:
+        Functional counters.
+    flush_invalidations:
+        Valid lines dropped by update-induced flushes.
+    breakeven:
+        The per-line breakeven actually used for the accounting.
+    """
+
+    line_stats: tuple[BankIdleStats, ...]
+    hits: int
+    misses: int
+    updates_applied: int
+    flush_invalidations: int
+    breakeven: int
 
 
 @dataclass(frozen=True)
@@ -63,7 +102,14 @@ class FineGrainResult:
 
     @property
     def energy_savings(self) -> float:
-        """Fractional saving vs the unmanaged monolithic baseline."""
+        """Fractional saving vs the unmanaged monolithic baseline.
+
+        Guarded like :attr:`hit_rate`: a degenerate run with zero
+        baseline energy (empty trace over a zero-cycle horizon) reports
+        zero saving instead of dividing by zero.
+        """
+        if self.baseline_energy_pj == 0:
+            return 0.0
         return 1.0 - self.energy_pj / self.baseline_energy_pj
 
     @property
@@ -93,7 +139,9 @@ class FineGrainSimulator:
         plan: TracePlan | None = None,
     ) -> None:
         self.config = config
-        self.lut = lut if lut is not None else LifetimeLUT.default()
+        # Resolved lazily: the measurement pass (measure()) never needs
+        # the LUT, so building the default one is deferred to run().
+        self.lut = lut
         self.plan = plan
 
     # ------------------------------------------------------------------
@@ -131,12 +179,18 @@ class FineGrainSimulator:
             yield lo, hi, physical, epoch
 
     # ------------------------------------------------------------------
-    def run(self, trace: Trace) -> FineGrainResult:
-        """Simulate ``trace`` and return the per-line measurements."""
+    def measure(self, trace: Trace, breakeven: int | None = None) -> FineGrainMeasurement:
+        """Run the measurement pass and return the per-line counters.
+
+        ``breakeven`` overrides the config-derived per-line breakeven
+        (the engine adapter uses this to model an unmanaged cache as one
+        whose breakeven exceeds the horizon).
+        """
         config = self.config
         geometry = config.geometry
         num_lines = geometry.num_lines
-        breakeven = config.breakeven()
+        if breakeven is None:
+            breakeven = config.breakeven()
         horizon = trace.horizon
 
         plan = ensure_plan(self.plan, trace)
@@ -145,15 +199,37 @@ class FineGrainSimulator:
         physical = np.empty(len(trace), dtype=np.int64)
         hits = 0
         updates = 0
+        flush_invalidations = 0
+        open_lines = 0
         for lo, hi, phys, epoch in self._remap_epochs(index, trace.cycles):
             physical[lo:hi] = phys
-            hits += _epoch_hits(index[lo:hi], tag[lo:hi])
+            # The previous epoch's surviving lines are dropped by the
+            # boundary flush that opened this one.
+            flush_invalidations += open_lines
+            epoch_hits, open_lines = _epoch_hits(index[lo:hi], tag[lo:hi])
+            hits += epoch_hits
             updates = epoch
         misses = len(trace) - hits
 
-        sleep, transitions, accesses = _per_line_sleep(
+        line_stats = _per_line_stats(
             physical, trace.cycles, num_lines, breakeven, horizon
         )
+        return FineGrainMeasurement(
+            line_stats=tuple(line_stats),
+            hits=hits,
+            misses=misses,
+            updates_applied=updates,
+            flush_invalidations=flush_invalidations,
+            breakeven=breakeven,
+        )
+
+    def run(self, trace: Trace) -> FineGrainResult:
+        """Simulate ``trace`` and return the per-line measurements."""
+        config = self.config
+        num_lines = config.geometry.num_lines
+        horizon = trace.horizon
+        measurement = self.measure(trace)
+        sleep, transitions, accesses = _stats_arrays(measurement.line_stats)
 
         model = config.make_energy_model()
         energy = model.total_energy(
@@ -165,13 +241,14 @@ class FineGrainSimulator:
         baseline = model.baseline_energy(len(trace), horizon)
 
         sleep_fraction = sleep / float(horizon) if horizon else np.zeros(num_lines)
-        lifetimes = self.lut.lifetime_years_batch(0.5, sleep_fraction)
+        lut = self.lut if self.lut is not None else LifetimeLUT.default()
+        lifetimes = lut.lifetime_years_batch(0.5, sleep_fraction)
         return FineGrainResult(
             line_sleep_fraction=sleep_fraction,
             line_accesses=accesses,
-            hits=hits,
-            misses=misses,
-            updates_applied=updates,
+            hits=measurement.hits,
+            misses=measurement.misses,
+            updates_applied=measurement.updates_applied,
             energy_pj=energy,
             baseline_energy_pj=baseline,
             lifetime_years=float(lifetimes.min()),
@@ -179,16 +256,43 @@ class FineGrainSimulator:
         )
 
 
-def _epoch_hits(index: np.ndarray, tag: np.ndarray) -> int:
-    """Hits within one cold-started epoch (same logic as the fast engine)."""
+def _epoch_hits(index: np.ndarray, tag: np.ndarray) -> tuple[int, int]:
+    """Hits and distinct lines touched within one cold-started epoch
+    (same logic as the fast engine)."""
     if index.size == 0:
-        return 0
+        return 0, 0
     order = np.lexsort((np.arange(index.size), index))
     idx_sorted = index[order]
     tag_sorted = tag[order]
     same_line = idx_sorted[1:] == idx_sorted[:-1]
     same_tag = tag_sorted[1:] == tag_sorted[:-1]
-    return int(np.count_nonzero(same_line & same_tag))
+    hits = int(np.count_nonzero(same_line & same_tag))
+    distinct_lines = int(np.count_nonzero(~same_line)) + 1
+    return hits, distinct_lines
+
+
+def _per_line_stats(
+    physical: np.ndarray,
+    cycles: np.ndarray,
+    num_lines: int,
+    breakeven: int,
+    horizon: int,
+) -> list[BankIdleStats]:
+    """Full per-line idleness stats, fully vectorized.
+
+    A line here is a "bank" of the shared
+    :func:`~repro.power.idleness.idle_gaps_from_sorted_accesses` kernel,
+    so the interior/leading/trailing/never-touched gap semantics (busy
+    at cycle -1, trailing gap to ``horizon``) exist in exactly one
+    place, and the thresholding is the same integer-exact
+    :func:`~repro.power.idleness.batch_stats_from_gaps` the banked fast
+    engine uses.
+    """
+    order = np.argsort(physical, kind="stable")
+    lines_sorted = physical[order]
+    splits = np.searchsorted(lines_sorted, np.arange(num_lines + 1))
+    gaps = idle_gaps_from_sorted_accesses(cycles[order], splits, 0, horizon)
+    return batch_stats_from_gaps(gaps, [breakeven])[0]
 
 
 def _per_line_sleep(
@@ -198,23 +302,20 @@ def _per_line_sleep(
     breakeven: int,
     horizon: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Per-line (sleep cycles, transitions, accesses), fully vectorized.
+    """Array view of :func:`_per_line_stats`: (sleep, transitions, accesses).
 
-    A line here is a "bank" of the shared
-    :func:`~repro.power.idleness.idle_gaps_from_sorted_accesses` kernel,
-    so the interior/leading/trailing/never-touched gap semantics (busy
-    at cycle -1, trailing gap to ``horizon``) exist in exactly one
-    place. Accumulation is integer throughout, so huge horizons stay
-    exact.
+    Kept as the kernel-oracle interface the per-line accounting tests
+    differentially check against an
+    :class:`~repro.power.idleness.IdlenessAccountant` driven with one
+    "bank" per line.
     """
-    order = np.argsort(physical, kind="stable")
-    lines_sorted = physical[order]
-    splits = np.searchsorted(lines_sorted, np.arange(num_lines + 1))
-    gaps = idle_gaps_from_sorted_accesses(cycles[order], splits, 0, horizon)
+    stats = _per_line_stats(physical, cycles, num_lines, breakeven, horizon)
+    return _stats_arrays(stats)
 
-    useful = gaps.gap_values > breakeven
-    useful_lines = gaps.gap_banks[useful]
-    sleep = np.zeros(num_lines, dtype=np.int64)
-    np.add.at(sleep, useful_lines, gaps.gap_values[useful] - breakeven)
-    transitions = np.bincount(useful_lines, minlength=num_lines).astype(np.int64)
-    return sleep, transitions, gaps.accesses
+
+def _stats_arrays(stats) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(sleep, transitions, accesses) int64 arrays from per-line stats."""
+    sleep = np.array([s.sleep_cycles for s in stats], dtype=np.int64)
+    transitions = np.array([s.transitions for s in stats], dtype=np.int64)
+    accesses = np.array([s.accesses for s in stats], dtype=np.int64)
+    return sleep, transitions, accesses
