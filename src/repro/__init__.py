@@ -41,6 +41,7 @@ from repro.cache import BankedCache, CacheGeometry, DirectMappedCache, SetAssoci
 from repro.core import (
     ArchitectureConfig,
     Engine,
+    StreamingPlan,
     FastSimulator,
     Measurement,
     Metric,
@@ -52,9 +53,10 @@ from repro.core import (
     register_engine,
     register_metric,
     simulate,
+    simulate_stream,
     summarize,
 )
-from repro.analysis import pareto_front, sweep
+from repro.analysis import pareto_front, stream_sweep, sweep
 from repro.campaign import (
     CampaignResult,
     CampaignSpec,
@@ -74,7 +76,16 @@ from repro.finegrain import FineGrainConfig, FineGrainEngine, FineGrainSimulator
 from repro.hw.overhead import estimate_overhead
 from repro.indexing import make_policy
 from repro.power import EnergyModel, TechnologyParams, breakeven_cycles
-from repro.trace import Trace, WorkloadGenerator, profile_for
+from repro.trace import (
+    Trace,
+    TraceChunk,
+    TraceStream,
+    WorkloadGenerator,
+    open_trace_stream,
+    profile_for,
+    save_trace_mmap,
+    stream_to_trace,
+)
 from repro.trace.stats import profile_trace
 
 __version__ = "1.0.0"
@@ -90,8 +101,10 @@ __all__ = [
     "ReferenceSimulator",
     "FastSimulator",
     "TracePlan",
+    "StreamingPlan",
     "SimulationResult",
     "simulate",
+    "simulate_stream",
     "summarize",
     "Engine",
     "register_engine",
@@ -101,6 +114,11 @@ __all__ = [
     "register_metric",
     "metric_names",
     "Trace",
+    "TraceChunk",
+    "TraceStream",
+    "open_trace_stream",
+    "save_trace_mmap",
+    "stream_to_trace",
     "WorkloadGenerator",
     "profile_for",
     "make_policy",
@@ -117,6 +135,7 @@ __all__ = [
     "FineGrainSimulator",
     "FineGrainEngine",
     "sweep",
+    "stream_sweep",
     "pareto_front",
     "estimate_overhead",
     "profile_trace",

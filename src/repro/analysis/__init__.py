@@ -7,6 +7,6 @@
 """
 
 from repro.analysis.pareto import pareto_front
-from repro.analysis.sweep import SweepPoint, SweepResult, sweep
+from repro.analysis.sweep import SweepPoint, SweepResult, stream_sweep, sweep
 
-__all__ = ["sweep", "SweepPoint", "SweepResult", "pareto_front"]
+__all__ = ["sweep", "stream_sweep", "SweepPoint", "SweepResult", "pareto_front"]

@@ -337,6 +337,60 @@ def simulate_selected(
     )
 
 
+def _grid(axes: dict[str, list]) -> tuple[list[str], list[tuple]]:
+    """Validated axis names and their cartesian product."""
+    if not axes:
+        raise ConfigurationError("sweep needs at least one axis")
+    field_names = {f for f in ArchitectureConfig.__dataclass_fields__}
+    for name in axes:
+        if name not in field_names:
+            raise ConfigurationError(
+                f"{name!r} is not an ArchitectureConfig field"
+            )
+    names = list(axes)
+    combos = list(itertools.product(*(axes[name] for name in names)))
+    return names, combos
+
+
+def stream_sweep(
+    base: ArchitectureConfig,
+    stream,
+    axes: dict[str, list],
+    lut: LifetimeLUT | None = None,
+    engine: str = "auto",
+) -> SweepResult:
+    """Out-of-core :func:`sweep`: the whole grid in one pass over a stream.
+
+    ``stream`` is a :class:`~repro.trace.stream.TraceStream`; every
+    grid point's carried state (one cursor per breakeven group)
+    advances chunk by chunk through a shared
+    :class:`~repro.core.plan.StreamingPlan`, so peak memory is bounded
+    by the chunk size plus per-point state — never the trace length —
+    and every result is bit-identical to :func:`sweep` on the
+    materialized trace (the streaming fuzz suite holds the two
+    together). Engines join via the streaming capabilities documented
+    on :class:`~repro.core.engine.Engine`; ``parallel`` fan-out does
+    not apply (the single shared pass *is* the batching lever).
+    """
+    from repro.core.streamsim import stream_selected
+
+    names, combos = _grid(axes)
+    results = stream_selected(
+        base,
+        stream,
+        names,
+        combos,
+        group_ids=_breakeven_group_ids(names, axes),
+        lut=lut,
+        engine=engine,
+    )
+    points = tuple(
+        SweepPoint(parameters=dict(zip(names, combo)), result=result)
+        for combo, result in zip(combos, results)
+    )
+    return SweepResult(points=points)
+
+
 def sweep(
     base: ArchitectureConfig,
     trace: Trace,
@@ -370,17 +424,7 @@ def sweep(
     >>> # doctest-style sketch (not executed here):
     >>> # result = sweep(cfg, trace, {"num_banks": [2, 4, 8]}, parallel=4)
     """
-    if not axes:
-        raise ConfigurationError("sweep needs at least one axis")
-    field_names = {f for f in ArchitectureConfig.__dataclass_fields__}
-    for name in axes:
-        if name not in field_names:
-            raise ConfigurationError(
-                f"{name!r} is not an ArchitectureConfig field"
-            )
-
-    names = list(axes)
-    combos = list(itertools.product(*(axes[name] for name in names)))
+    names, combos = _grid(axes)
     results = simulate_selected(
         base,
         trace,

@@ -83,6 +83,25 @@ class CampaignStatus:
         return self.total - self.done
 
 
+def _streaming_source(spec: CampaignSpec, trace_spec: TraceSpec):
+    """The chunked stream to simulate from, or ``None`` for in-memory.
+
+    A spec opts in per trace (``chunk_cycles > 0`` on the trace
+    source); the opt-in is honored only when the spec's engine exposes
+    the streaming capability for the base configuration — otherwise the
+    runner quietly falls back to materializing, since the stored
+    records are bit-identical either way.
+    """
+    stream_factory = getattr(trace_spec, "stream", None)
+    if stream_factory is None:
+        return None
+    from repro.core.engine import resolve_engine, supports_streaming
+
+    if not supports_streaming(resolve_engine(spec.engine, spec.base)):
+        return None
+    return stream_factory()
+
+
 def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
     """How much of ``spec`` the store already holds."""
     total = 0
@@ -130,7 +149,12 @@ def run_campaign(
         Stored integer counters are LUT-independent; derived lifetime
         fields assume the same LUT across runs.
     parallel:
-        Worker processes for the missing points of each trace.
+        Worker processes for the missing points of each trace. Only
+        applies to in-memory traces: a trace that opts into chunked
+        loading (``chunk_cycles > 0``) runs all its missing points in
+        one serial pass over the stream instead — the shared pass is
+        the streaming path's batching lever, and its peak memory stays
+        bounded by the chunk size.
 
     Returns
     -------
@@ -155,27 +179,50 @@ def run_campaign(
         keys = [point.key() for point in points]
         missing = [i for i, key in enumerate(keys) if key not in store]
         if missing:
-            # Materialize the trace only now — a fully covered trace
-            # costs nothing to resume.
-            trace = trace_spec.build()
-            simulate_selected(
-                spec.base,
-                trace,
-                names,
-                [combos[i] for i in missing],
-                group_ids=(
-                    [group_ids[i] for i in missing] if group_ids is not None else None
-                ),
-                lut=shared_lut,
-                engine=spec.engine,
-                parallel=parallel,
-                plan=TracePlan(trace),
-                # Persist each result the moment it exists (per point /
-                # breakeven group / parallel chunk): an interruption
-                # loses at most the in-flight batch, and the rerun
-                # resumes from everything already stored.
-                on_result=lambda j, result: store.put(keys[missing[j]], result),
+            missing_combos = [combos[i] for i in missing]
+            missing_groups = (
+                [group_ids[i] for i in missing] if group_ids is not None else None
             )
+            # Persist each result the moment it exists (per point /
+            # breakeven group / parallel chunk): an interruption
+            # loses at most the in-flight batch, and the rerun
+            # resumes from everything already stored.
+            on_result = lambda j, result: store.put(keys[missing[j]], result)
+            stream = _streaming_source(spec, trace_spec)
+            if stream is not None:
+                # Chunked loading: the trace is never materialized;
+                # every missing point advances through one shared pass
+                # over the stream (results — and therefore stored
+                # records — are bit-identical to the in-memory path,
+                # so chunked and unchunked runs resume each other).
+                from repro.core.streamsim import stream_selected
+
+                stream_selected(
+                    spec.base,
+                    stream,
+                    names,
+                    missing_combos,
+                    group_ids=missing_groups,
+                    lut=shared_lut,
+                    engine=spec.engine,
+                    on_result=on_result,
+                )
+            else:
+                # Materialize the trace only now — a fully covered
+                # trace costs nothing to resume.
+                trace = trace_spec.build()
+                simulate_selected(
+                    spec.base,
+                    trace,
+                    names,
+                    missing_combos,
+                    group_ids=missing_groups,
+                    lut=shared_lut,
+                    engine=spec.engine,
+                    parallel=parallel,
+                    plan=TracePlan(trace),
+                    on_result=on_result,
+                )
             simulated += len(missing)
         reused += len(combos) - len(missing)
         for point, key in zip(points, keys):

@@ -21,10 +21,24 @@ Custom sources register through :func:`register_trace_source`.
 Content-hash guarantee
 ----------------------
 :meth:`TraceSpec.trace_hash` hashes the *normalized* spec (kind + all
-parameters with defaults filled in), via the same canonical JSON as the
-config codec. Hence two specs hash equally iff they normalize to the
-same parameters — and for deterministic kinds, equal hashes imply
-bit-identical traces.
+workload parameters with defaults filled in), via the same canonical
+JSON as the config codec. Hence two specs hash equally iff they
+normalize to the same workload — and for deterministic kinds, equal
+hashes imply bit-identical traces. Parameters a source declares
+*hash-neutral* (loading hints such as ``chunk_cycles``, which change
+how the trace is materialized but not which trace it is) are excluded
+from the hash, so opting a spec into chunked loading reuses every
+record an unchunked run already stored.
+
+Chunked loading
+---------------
+Both built-in sources accept ``chunk_cycles`` (default ``0`` =
+resident). A positive value makes :meth:`TraceSpec.stream` return a
+:class:`~repro.trace.stream.TraceStream` instead of ``None``, which the
+campaign runner feeds to streaming-capable engines so file-backed (or
+synthetic) workloads far larger than RAM simulate out-of-core;
+:meth:`TraceSpec.build` still materializes the full trace for
+in-memory consumers.
 """
 
 from __future__ import annotations
@@ -54,12 +68,23 @@ class TraceSource:
         Optional parameters and their default values (written into the
         normalized form so hashes never depend on spelling defaults
         out).
+    stream_build:
+        Optional ``params dict -> TraceStream`` for chunked
+        materialization; consulted by :meth:`TraceSpec.stream` when the
+        spec's ``chunk_cycles`` is positive.
+    hash_neutral:
+        Parameter names that are loading hints, not workload identity —
+        excluded from :meth:`TraceSpec.trace_hash` so e.g. a chunked
+        and an unchunked spelling of the same workload share store
+        records.
     """
 
     kind: str
     build: Callable[[dict], Trace]
     required: tuple[str, ...] = ()
     defaults: dict = field(default_factory=dict)
+    stream_build: Callable[[dict], object] | None = None
+    hash_neutral: tuple[str, ...] = ()
 
     def normalize(self, params: dict) -> dict:
         """Validate ``params`` and fill defaults."""
@@ -117,21 +142,55 @@ def _build_synthetic(params: dict) -> Trace:
     return generator.generate(profile_for(params["benchmark"]))
 
 
-def _build_file(params: dict) -> Trace:
+def _build_synthetic_stream(params: dict):
+    from repro.cache.geometry import CacheGeometry
+    from repro.trace.generator import WorkloadGenerator
+    from repro.trace.mediabench import profile_for
+
+    geometry = CacheGeometry(
+        size_bytes=params["size_bytes"],
+        line_size=params["line_size"],
+        ways=params["ways"],
+    )
+    generator = WorkloadGenerator(
+        geometry,
+        num_windows=params["num_windows"],
+        window_cycles=params["window_cycles"],
+        master_seed=params["master_seed"],
+    )
+    return generator.stream(profile_for(params["benchmark"]), params["chunk_cycles"])
+
+
+def _verify_file_checksum(params: dict) -> None:
     from repro.errors import TraceError
-    from repro.trace.io import load_trace
 
     path = params["path"]
     expected = params["sha256"]
-    if expected:
-        with open(os.fspath(path), "rb") as handle:
-            digest = hashlib.sha256(handle.read()).hexdigest()
-        if digest != expected:
-            raise TraceError(
-                f"trace file {path} does not match its spec checksum "
-                f"(expected {expected[:12]}…, found {digest[:12]}…)"
-            )
-    return load_trace(path)
+    if not expected:
+        return
+    digest = hashlib.sha256()
+    with open(os.fspath(path), "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    if digest.hexdigest() != expected:
+        raise TraceError(
+            f"trace file {path} does not match its spec checksum "
+            f"(expected {expected[:12]}…, found {digest.hexdigest()[:12]}…)"
+        )
+
+
+def _build_file(params: dict) -> Trace:
+    from repro.trace.io import load_trace
+
+    _verify_file_checksum(params)
+    return load_trace(params["path"])
+
+
+def _build_file_stream(params: dict):
+    from repro.trace.stream import open_trace_stream
+
+    _verify_file_checksum(params)
+    return open_trace_stream(params["path"], params["chunk_cycles"])
 
 
 register_trace_source(
@@ -146,7 +205,10 @@ register_trace_source(
             "num_windows": 1500,
             "window_cycles": 1024,
             "master_seed": 2011,
+            "chunk_cycles": 0,
         },
+        stream_build=_build_synthetic_stream,
+        hash_neutral=("chunk_cycles",),
     )
 )
 
@@ -155,7 +217,9 @@ register_trace_source(
         kind="file",
         build=_build_file,
         required=("path",),
-        defaults={"sha256": ""},
+        defaults={"sha256": "", "chunk_cycles": 0},
+        stream_build=_build_file_stream,
+        hash_neutral=("chunk_cycles",),
     )
 )
 
@@ -192,8 +256,21 @@ class TraceSpec:
 
     # -- codec ----------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-shaped form (normalized parameters, defaults explicit)."""
-        return {"kind": self.kind, "params": dict(self.params)}
+        """JSON-shaped form (normalized parameters, defaults explicit).
+
+        Hash-neutral parameters still at their default are omitted, so
+        spec files written before a loading hint existed re-encode
+        byte-identically.
+        """
+        source = trace_source(self.kind)
+        params = {
+            key: value
+            for key, value in self.params.items()
+            if not (
+                key in source.hash_neutral and value == source.defaults.get(key)
+            )
+        }
+        return {"kind": self.kind, "params": params}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TraceSpec":
@@ -214,12 +291,38 @@ class TraceSpec:
 
     # -- identity and materialization ----------------------------------
     def trace_hash(self) -> str:
-        """Content hash of the normalized spec (see module docstring)."""
-        return content_hash(self.to_dict())
+        """Content hash of the normalized *workload* (see module docstring).
+
+        Hash-neutral loading hints are excluded at any value: a chunked
+        and an unchunked spelling of the same workload hash — and
+        therefore store — identically.
+        """
+        source = trace_source(self.kind)
+        params = {
+            key: value
+            for key, value in self.params.items()
+            if key not in source.hash_neutral
+        }
+        return content_hash({"kind": self.kind, "params": params})
 
     def build(self) -> Trace:
         """Materialize the trace this spec names."""
         return trace_source(self.kind).build(dict(self.params))
+
+    def stream(self):
+        """Chunked view of the workload, or ``None``.
+
+        Returns a :class:`~repro.trace.stream.TraceStream` when this
+        spec opts into chunked loading (``chunk_cycles > 0``) and its
+        source supports it; ``None`` means "materialize with
+        :meth:`build`".
+        """
+        source = trace_source(self.kind)
+        if source.stream_build is None:
+            return None
+        if not self.params.get("chunk_cycles", 0):
+            return None
+        return source.stream_build(dict(self.params))
 
     def label(self) -> str:
         """Short human-readable identity for reports."""

@@ -26,6 +26,10 @@ decode/sort of the trace feeds every grid point, a breakeven axis is
 batched into single gap computations, and ``--parallel N`` fans chunks
 out over processes without re-pickling the trace per chunk. ``--save``
 persists the results as a (v2, exactly resimulable) JSON file.
+``--chunk-cycles N`` runs the whole grid out-of-core: the workload is
+generated and simulated in N-cycle chunks in a single pass, with peak
+memory bounded by the chunk size instead of the trace length — and
+bit-identical results.
 
 ``repro campaign`` takes a declarative JSON spec file (see
 :class:`repro.campaign.CampaignSpec`); running the same spec twice
@@ -142,7 +146,7 @@ def _cmd_arch(args: argparse.Namespace) -> int:
 
 
 def _cmd_engines(args: argparse.Namespace) -> int:
-    from repro.core.engine import registered_engines
+    from repro.core.engine import registered_engines, supports_streaming
 
     print("registered simulation engines (select with --engine):")
     print(f"  {'auto':<12} highest-priority auto-eligible engine "
@@ -151,6 +155,8 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         flags = []
         if not getattr(engine, "auto_eligible", True):
             flags.append("explicit-only")
+        if supports_streaming(engine):
+            flags.append("streaming")
         family = getattr(engine, "family", "banked")
         if family != "banked":
             flags.append(f"family={family}")
@@ -212,14 +218,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.chunk_cycles < 0:
+        print(
+            "error: --chunk-cycles must be >= 0 (0 = in-memory)",
+            file=sys.stderr,
+        )
+        return 2
     geometry = CacheGeometry(args.size * 1024, args.line_size)
-    trace = WorkloadGenerator(
+    generator = WorkloadGenerator(
         geometry, num_windows=args.windows, master_seed=args.seed
-    ).generate(profile_for(args.benchmark))
-    if args.updates >= trace.horizon:
+    )
+    profile = profile_for(args.benchmark)
+    horizon = generator.horizon
+    if args.updates >= horizon:
         print(
             f"error: --updates {args.updates} exceeds the trace horizon "
-            f"({trace.horizon:,} cycles); use fewer updates or more --windows",
+            f"({horizon:,} cycles); use fewer updates or more --windows",
             file=sys.stderr,
         )
         return 2
@@ -237,9 +251,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             geometry,
             num_banks=axes["num_banks"][0],
             policy="static",
-            update_period_cycles=trace.horizon // args.updates,
+            update_period_cycles=horizon // args.updates,
         )
-        result = sweep(base, trace, axes, engine=args.engine, parallel=args.parallel)
+        if args.chunk_cycles:
+            # Out-of-core: the trace is generated, decoded and
+            # simulated chunk by chunk in one pass; it is never
+            # resident in full. Results are bit-identical to the
+            # in-memory path.
+            from repro.analysis.sweep import stream_sweep
+
+            stream = generator.stream(profile, args.chunk_cycles)
+            result = stream_sweep(base, stream, axes, engine=args.engine)
+        else:
+            trace = generator.generate(profile)
+            result = sweep(
+                base, trace, axes, engine=args.engine, parallel=args.parallel
+            )
     except ReproError as error:
         # e.g. --banks 1 with a dynamic policy axis, or a non-power-of-two
         # bank count: surface the validation message, not a traceback.
@@ -247,9 +274,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     seconds = time.perf_counter() - start
 
+    first = result.points[0].result
+    accesses = first.cache_stats.hits + first.cache_stats.misses
     print(
-        f"{args.benchmark}: {len(trace):,} accesses, "
-        f"{trace.horizon:,} cycles, {len(result)} points"
+        f"{args.benchmark}: {accesses:,} accesses, "
+        f"{horizon:,} cycles, {len(result)} points"
+        + (f" [streamed, {args.chunk_cycles:,}-cycle chunks]"
+           if args.chunk_cycles else "")
     )
     print(f"{'banks':>5} {'policy':>11} {'breakeven':>9} "
           f"{'hit-rate':>8} {'Esav':>7} {'LT':>7}")
@@ -453,6 +484,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sweep.add_argument(
         "--parallel", type=int, default=None, help="worker processes for the grid"
+    )
+    p_sweep.add_argument(
+        "--chunk-cycles",
+        type=int,
+        default=0,
+        help="stream the workload out-of-core in windows of this many "
+        "cycles (one pass for the whole grid, peak memory bounded by "
+        "the chunk; ignores --parallel; 0 = in-memory)",
     )
     p_sweep.add_argument(
         "--save",

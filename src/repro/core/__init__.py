@@ -16,7 +16,10 @@ management + dynamic indexing + aging, driven by traces.
 * :mod:`repro.core.metrics` — the pluggable derived-metrics pipeline
   mapping measured counters to named values;
 * :mod:`repro.core.plan` — :class:`TracePlan`, memoized per-trace state
-  shared across sweep points;
+  shared across sweep points, and :class:`StreamingPlan`, its per-chunk
+  counterpart for out-of-core runs;
+* :mod:`repro.core.streamsim` — streaming simulation over chunked
+  traces (:func:`simulate_stream`, carried-state cursors);
 * :mod:`repro.core.results` — :class:`SimulationResult` with energy,
   idleness, hit-rate, lifetime and metric views.
 """
@@ -30,6 +33,7 @@ from repro.core.engine import (
     register_engine,
     registered_engines,
     resolve_engine,
+    supports_streaming,
     unregister_engine,
     validate_engine,
 )
@@ -48,9 +52,10 @@ from repro.core.metrics import (
     unregister_metric,
     unregister_template,
 )
-from repro.core.plan import TracePlan
+from repro.core.plan import StreamingPlan, TracePlan
 from repro.core.results import SimulationResult
 from repro.core.simulator import ReferenceSimulator, assemble_result, simulate
+from repro.core.streamsim import run_streaming, run_streaming_group, simulate_stream
 
 __all__ = [
     "ArchitectureConfig",
@@ -63,6 +68,7 @@ __all__ = [
     "register_engine",
     "registered_engines",
     "resolve_engine",
+    "supports_streaming",
     "unregister_engine",
     "validate_engine",
     "Measurement",
@@ -80,7 +86,11 @@ __all__ = [
     "ReferenceSimulator",
     "FastSimulator",
     "TracePlan",
+    "StreamingPlan",
     "run_breakeven_group",
+    "run_streaming",
+    "run_streaming_group",
+    "simulate_stream",
     "SimulationResult",
     "assemble_result",
     "simulate",

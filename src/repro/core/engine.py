@@ -63,6 +63,23 @@ class Engine:
     fast path for ``breakeven_override`` axes may additionally provide
     ``run_group(configs, trace, lut=None, plan=None)`` (see
     :class:`~repro.core.fastsim.FastEngine`).
+
+    Engines that can simulate chunked (out-of-core) traces expose
+    *streaming capabilities*, likewise duck-typed and
+    ``supports()``-gated at dispatch:
+
+    * ``run_streaming(config, stream, lut=None)`` — simulate one
+      configuration from a :class:`~repro.trace.stream.TraceStream`;
+    * ``run_streaming_group(configs, stream, lut=None)`` — one pass for
+      a breakeven-only group;
+    * ``open_stream_cursor(configs, plan)`` — a carried-state cursor
+      (``process(plan)`` per chunk, ``finalize(horizon, name, lut)``)
+      letting :func:`~repro.core.streamsim.stream_selected` evaluate
+      many grid points in a single pass over the stream.
+
+    :func:`supports_streaming` is the capability query; engines without
+    it fail loudly on streaming entry points instead of silently
+    materializing the trace.
     """
 
     name: str = ""
@@ -212,6 +229,11 @@ def validate_engine(engine: str) -> None:
     if engine == "auto":
         return
     get_engine(engine)
+
+
+def supports_streaming(engine: Engine) -> bool:
+    """Whether ``engine`` exposes the ``run_streaming`` capability."""
+    return callable(getattr(engine, "run_streaming", None))
 
 
 def result_family(engine: str) -> str:

@@ -241,6 +241,21 @@ def _functional_counts(
     return int(hits), int(lines_per_epoch[:-1].sum())
 
 
+def validate_breakeven_group(configs) -> None:
+    """Reject groups whose configs differ in anything but the breakeven.
+
+    Shared by :func:`run_breakeven_group` and the streaming
+    :class:`~repro.core.streamsim.StreamCursor`, so the group contract
+    is enforced identically on both paths.
+    """
+    base = configs[0]
+    for other in configs[1:]:
+        if replace(other, breakeven_override=base.breakeven_override) != base:
+            raise SimulationError(
+                "breakeven group configs must differ only in breakeven_override"
+            )
+
+
 def run_breakeven_group(
     configs,
     trace: Trace,
@@ -260,11 +275,7 @@ def run_breakeven_group(
     if not configs:
         return []
     base = configs[0]
-    for other in configs[1:]:
-        if replace(other, breakeven_override=base.breakeven_override) != base:
-            raise SimulationError(
-                "breakeven group configs must differ only in breakeven_override"
-            )
+    validate_breakeven_group(configs)
     plan = ensure_plan(plan, trace)
 
     geometry = base.geometry
@@ -333,6 +344,28 @@ class FastEngine(Engine):
     def run_group(configs, trace, lut=None, plan=None):
         """Batched evaluation of a breakeven-only config group."""
         return run_breakeven_group(configs, trace, lut=lut, plan=plan)
+
+    # -- streaming capabilities (see repro.core.streamsim) -------------
+    @staticmethod
+    def run_streaming(config, stream, lut=None, plan=None):
+        """Out-of-core simulation from a chunked trace stream."""
+        from repro.core.streamsim import run_streaming
+
+        return run_streaming(config, stream, lut=lut, plan=plan)
+
+    @staticmethod
+    def run_streaming_group(configs, stream, lut=None, plan=None):
+        """One streamed pass for a whole breakeven-only group."""
+        from repro.core.streamsim import run_streaming_group
+
+        return run_streaming_group(configs, stream, lut=lut, plan=plan)
+
+    @staticmethod
+    def open_stream_cursor(configs, plan):
+        """Carried-state cursor for single-pass multi-group evaluation."""
+        from repro.core.streamsim import StreamCursor
+
+        return StreamCursor(configs, plan)
 
 
 register_engine(FastEngine())

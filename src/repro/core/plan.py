@@ -239,6 +239,148 @@ class TracePlan:
         return gaps
 
 
+class EpochCursor:
+    """Streaming epoch bracketing for one update-schedule identity.
+
+    The out-of-core counterpart of :meth:`TracePlan.epoch_starts`: the
+    schedule's firing boundaries are discovered chunk by chunk (a
+    boundary *fires* when the first access at or after it arrives —
+    exactly the reference engine's lazy drain), and each chunk's
+    accesses are bracketed into epoch segments. One cursor is shared by
+    every streaming consumer with the same schedule identity, so the
+    searchsorted bracketing happens once per (chunk, schedule), not once
+    per configuration.
+    """
+
+    def __init__(self, config) -> None:
+        self._schedule = config.make_update_schedule()
+        self.fired = 0
+        self._chunk_id = -1
+        self._current: tuple[np.ndarray, np.ndarray] | None = None
+
+    def segments(self, chunk, chunk_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(boundaries, starts)`` of this chunk, memoized per chunk.
+
+        ``boundaries`` are the schedule cycles that fire within this
+        chunk (at or before its last access and not fired before);
+        ``starts`` brackets the chunk's accesses: segment ``s`` owns
+        positions ``starts[s]:starts[s + 1]``, with one update applied
+        before each segment after the first.
+        """
+        if chunk_id == self._chunk_id:
+            assert self._current is not None
+            return self._current
+        cycles = chunk.cycles
+        if cycles.size == 0:
+            boundaries = np.empty(0, dtype=np.int64)
+            starts = np.array([0, 0], dtype=np.int64)
+        else:
+            # Drain the schedule incrementally — O(newly fired) per
+            # chunk, never a recomputation of the already-fired prefix
+            # (a periodic schedule over a long stream would otherwise
+            # rebuild its full arange every chunk).
+            last = int(cycles[-1])
+            fired: list[int] = []
+            while True:
+                upcoming = self._schedule.next_update_cycle
+                if upcoming is None or upcoming > last:
+                    break
+                fired.append(upcoming)
+                self._schedule.due(upcoming)
+            boundaries = np.asarray(fired, dtype=np.int64)
+            self.fired += int(boundaries.size)
+            starts = np.concatenate(
+                (
+                    [0],
+                    np.searchsorted(cycles, boundaries, side="left"),
+                    [cycles.size],
+                )
+            )
+        self._chunk_id = chunk_id
+        self._current = (boundaries, starts)
+        return self._current
+
+
+class StreamingPlan:
+    """Per-chunk memoization shared by concurrent streaming consumers.
+
+    The streaming analogue of :class:`TracePlan`: where the one-shot
+    plan memoizes whole-trace layers keyed by the config fields they
+    depend on, this plan memoizes the *current chunk's* layers — the
+    address decode per bit split, the logical-bank projection per
+    (bit split, bank count) and the epoch bracketing per schedule
+    identity — so a streaming sweep evaluating many configurations in
+    one pass decodes each chunk once per distinct key, not once per
+    point. Chunk-keyed sections are dropped on :meth:`begin_chunk`
+    (bounding memory at O(chunk) however long the stream);
+    persistent sections (epoch cursors, carried hit-tracker state)
+    survive across chunks.
+    """
+
+    def __init__(self) -> None:
+        self.chunk = None
+        self.chunk_id = -1
+        self._chunk_cache: dict = {}
+        self._persistent: dict = {}
+
+    def begin_chunk(self, chunk) -> None:
+        """Enter ``chunk``: invalidate every chunk-keyed section."""
+        self.chunk = chunk
+        self.chunk_id += 1
+        self._chunk_cache.clear()
+
+    def chunk_cached(self, key, compute):
+        """Memoized section of the *current* chunk."""
+        try:
+            return self._chunk_cache[key]
+        except KeyError:
+            value = self._chunk_cache[key] = compute()
+            return value
+
+    def persistent(self, key, factory):
+        """Memoized cross-chunk state (cursors, trackers)."""
+        try:
+            return self._persistent[key]
+        except KeyError:
+            value = self._persistent[key] = factory()
+            return value
+
+    # ------------------------------------------------------------------
+    def decode(self, offset_bits: int, index_bits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(index, tag)`` arrays of the current chunk."""
+
+        def compute():
+            addresses = self.chunk.addresses
+            index = (addresses >> offset_bits) & mask(index_bits)
+            tag = addresses >> (offset_bits + index_bits)
+            return index, tag
+
+        return self.chunk_cached(("decode", offset_bits, index_bits), compute)
+
+    def logical_banks(
+        self, offset_bits: int, index_bits: int, num_banks: int
+    ) -> np.ndarray:
+        """Cached logical-bank projection of the current chunk."""
+
+        def compute():
+            index, _ = self.decode(offset_bits, index_bits)
+            line_bits = index_bits - log2_exact(num_banks)
+            return index >> line_bits
+
+        return self.chunk_cached(
+            ("logical", offset_bits, index_bits, num_banks), compute
+        )
+
+    def epoch_cursor(self, config) -> EpochCursor:
+        """Shared :class:`EpochCursor` for the config's schedule identity."""
+        key = ("epochs", TracePlan.schedule_key(config))
+        return self.persistent(key, lambda: EpochCursor(config))
+
+    def epoch_segments(self, config) -> tuple[np.ndarray, np.ndarray]:
+        """Current chunk's ``(boundaries, starts)`` for the config's schedule."""
+        return self.epoch_cursor(config).segments(self.chunk, self.chunk_id)
+
+
 def ensure_plan(plan: TracePlan | None, trace: Trace) -> TracePlan:
     """The plan to use for ``trace``: validate a given one, else build one."""
     if plan is None:

@@ -20,6 +20,12 @@ Three implementations are provided and tested against each other:
   routing (via :meth:`repro.core.plan.TracePlan.idle_gaps`) and calls
   the thresholding half; :func:`batch_stats_from_sorted_accesses`
   composes the two for one-shot use.
+
+A fourth, :class:`StreamingGapAccumulator`, is the carry-state variant
+for chunked (out-of-core) traces: per-bank last-access cycles are
+carried across chunk boundaries, counters fold incrementally, and the
+finalized stats are bit-identical to the one-shot kernels over the
+concatenated stream.
 """
 
 from __future__ import annotations
@@ -353,6 +359,145 @@ def batch_stats_from_gaps(gaps: IdleGapStructure, breakevens) -> list[list[BankI
             ]
         )
     return batches
+
+
+class StreamingGapAccumulator:
+    """Carry-state idleness accounting over a chunked access stream.
+
+    The out-of-core counterpart of
+    :func:`idle_gaps_from_sorted_accesses` +
+    :func:`batch_stats_from_gaps`: chunks of the bank-sorted access
+    stream arrive one at a time through :meth:`update`, and the only
+    state carried across chunk boundaries is each bank's last-access
+    cycle — the open gap a silent bank is accumulating is implicit in
+    it and is closed by the bank's next access (whenever that chunk
+    arrives) or by :meth:`finalize`. Because the multiset of idle gaps
+    this induces is exactly the one-shot kernel's, the finalized
+    :class:`BankIdleStats` are **bit-identical** to
+    :func:`batch_stats_from_sorted_accesses` over the concatenated
+    stream (the streaming fuzz suite enforces this for adversarial
+    chunkings, including one-cycle chunks and chunk boundaries landing
+    exactly on gap edges).
+
+    Parameters
+    ----------
+    num_banks:
+        Number of physical banks tracked.
+    breakevens:
+        Vector of breakeven times to threshold at; each entry is an
+        ``int >= 1`` or ``None``, where ``None`` means *infinite* (no
+        gap ever converts to sleep — how an unmanaged cache is
+        accounted without knowing the horizon up front).
+    start_cycle:
+        First cycle of the observation window.
+    """
+
+    def __init__(self, num_banks: int, breakevens, start_cycle: int = 0) -> None:
+        if num_banks < 1:
+            raise SimulationError("need at least one bank")
+        self.breakevens = list(breakevens)
+        for breakeven in self.breakevens:
+            if breakeven is not None and breakeven < 1:
+                raise SimulationError("breakeven must be >= 1 cycle")
+        self.num_banks = num_banks
+        self.start_cycle = start_cycle
+        self._last_event = np.full(num_banks, start_cycle - 1, dtype=np.int64)
+        self._accesses = np.zeros(num_banks, dtype=np.int64)
+        self._idle_intervals = np.zeros(num_banks, dtype=np.int64)
+        self._idle_cycles = np.zeros(num_banks, dtype=np.int64)
+        self._useful = np.zeros((len(self.breakevens), num_banks), dtype=np.int64)
+        self._sleep = np.zeros((len(self.breakevens), num_banks), dtype=np.int64)
+        self._finalized = False
+
+    def _account_gaps(self, gap_values: np.ndarray, gap_banks: np.ndarray) -> None:
+        """Fold a batch of closed gaps (already ``> 0``) into the counters."""
+        if gap_values.size == 0:
+            return
+        self._idle_intervals += np.bincount(gap_banks, minlength=self.num_banks)
+        np.add.at(self._idle_cycles, gap_banks, gap_values)
+        for row, breakeven in enumerate(self.breakevens):
+            if breakeven is None:
+                continue
+            useful = gap_values > breakeven
+            banks = gap_banks[useful]
+            self._useful[row] += np.bincount(banks, minlength=self.num_banks)
+            np.add.at(self._sleep[row], banks, gap_values[useful] - breakeven)
+
+    def update(self, sorted_cycles: np.ndarray, splits: np.ndarray) -> None:
+        """Fold one chunk of the bank-sorted stream into the counters.
+
+        ``sorted_cycles``/``splits`` have the layout of
+        :func:`idle_gaps_from_sorted_accesses`: bank ``b`` owns the
+        slice ``sorted_cycles[splits[b]:splits[b + 1]]``, strictly
+        increasing within each slice and later than every cycle the
+        bank has already seen.
+        """
+        if self._finalized:
+            raise SimulationError("accumulator already finalized")
+        cycles = np.asarray(sorted_cycles, dtype=np.int64)
+        splits = np.asarray(splits, dtype=np.int64)
+        if splits.size != self.num_banks + 1:
+            raise SimulationError("splits do not match the bank count")
+        counts = np.diff(splits)
+        if np.any(counts < 0) or int(splits[0]) != 0 or int(splits[-1]) != cycles.size:
+            raise SimulationError("splits do not partition the access stream")
+        if cycles.size == 0:
+            return
+        occupied = np.flatnonzero(counts > 0)
+        firsts = cycles[splits[occupied]]
+        lasts = cycles[splits[occupied + 1] - 1]
+        if np.any(firsts <= self._last_event[occupied]):
+            raise SimulationError(
+                "chunk accesses must be later than every prior access"
+            )
+        bank_of = np.repeat(np.arange(self.num_banks), counts)
+        same_bank = bank_of[1:] == bank_of[:-1]
+        deltas = np.diff(cycles)
+        if np.any(deltas[same_bank] <= 0):
+            raise SimulationError("access cycles must be strictly increasing")
+        interior = deltas[same_bank] - 1
+        interior_banks = bank_of[1:][same_bank]
+        leading = firsts - self._last_event[occupied] - 1
+        gap_values = np.concatenate([interior, leading])
+        gap_banks = np.concatenate([interior_banks, occupied])
+        positive = gap_values > 0
+        self._account_gaps(gap_values[positive], gap_banks[positive])
+        self._accesses[occupied] += counts[occupied]
+        self._last_event[occupied] = lasts
+
+    def finalize(self, end_cycle: int) -> list[list[BankIdleStats]]:
+        """Close every open gap to ``end_cycle`` and return the stats.
+
+        One list of per-bank :class:`BankIdleStats` per breakeven, in
+        the order the breakevens were given — the same shape as
+        :func:`batch_stats_from_gaps`.
+        """
+        if self._finalized:
+            raise SimulationError("accumulator already finalized")
+        window = int(end_cycle - self.start_cycle)
+        if window < 0:
+            raise SimulationError("end_cycle precedes start_cycle")
+        if np.any(self._last_event >= end_cycle):
+            raise SimulationError("access cycles outside the observation window")
+        trailing = end_cycle - self._last_event - 1
+        banks = np.flatnonzero(trailing > 0)
+        self._account_gaps(trailing[banks], banks)
+        self._finalized = True
+        return [
+            [
+                BankIdleStats(
+                    accesses=int(self._accesses[bank]),
+                    idle_intervals=int(self._idle_intervals[bank]),
+                    useful_intervals=int(self._useful[row, bank]),
+                    idle_cycles=int(self._idle_cycles[bank]),
+                    sleep_cycles=int(self._sleep[row, bank]),
+                    transitions=int(self._useful[row, bank]),
+                    total_cycles=window,
+                )
+                for bank in range(self.num_banks)
+            ]
+            for row in range(len(self.breakevens))
+        ]
 
 
 def batch_stats_from_sorted_accesses(

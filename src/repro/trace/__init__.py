@@ -7,6 +7,9 @@ provides (see DESIGN.md, substitution S1):
 * :mod:`repro.trace.trace` — the numpy-backed :class:`Trace` container
   (strictly increasing cycle stamps + byte addresses);
 * :mod:`repro.trace.io` — text and binary trace file formats;
+* :mod:`repro.trace.stream` — chunked, out-of-core trace access
+  (:class:`TraceChunk` iterators over files, archives, memory-mapped
+  directories and the synthetic generator);
 * :mod:`repro.trace.schedule` — windowed ON/OFF activity schedules over
   16 address sub-regions (4 bank groups × 4 quarters);
 * :mod:`repro.trace.synthetic` — low-level address-pattern walkers
@@ -26,12 +29,36 @@ from repro.trace.mediabench import (
     profile_for,
 )
 from repro.trace.schedule import ActivitySchedule, ScheduleParams
+from repro.trace.stream import (
+    InMemoryTraceStream,
+    MmapTraceStream,
+    NpzTraceStream,
+    SyntheticTraceStream,
+    TextTraceStream,
+    TraceChunk,
+    TraceStream,
+    chunk_trace,
+    open_trace_stream,
+    save_trace_mmap,
+    stream_to_trace,
+)
 from repro.trace.trace import Trace
 
 __all__ = [
     "Trace",
     "save_trace",
     "load_trace",
+    "TraceChunk",
+    "TraceStream",
+    "InMemoryTraceStream",
+    "TextTraceStream",
+    "NpzTraceStream",
+    "MmapTraceStream",
+    "SyntheticTraceStream",
+    "chunk_trace",
+    "open_trace_stream",
+    "save_trace_mmap",
+    "stream_to_trace",
     "ActivitySchedule",
     "ScheduleParams",
     "BenchmarkProfile",

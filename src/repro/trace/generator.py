@@ -78,8 +78,21 @@ class WorkloadGenerator:
         """Consecutive sets per region."""
         return self.geometry.num_sets // NUM_REGIONS
 
-    def generate(self, profile: BenchmarkProfile) -> Trace:
-        """Produce the trace for ``profile`` on this generator's geometry."""
+    @property
+    def horizon(self) -> int:
+        """Total simulated cycles of any generated trace."""
+        return self.num_windows * self.window_cycles
+
+    def _window_arrays(self, profile: BenchmarkProfile):
+        """Yield one ``(cycles, addresses)`` pair per busy window.
+
+        The single source of the generated access stream:
+        :meth:`generate` concatenates it, :meth:`stream` re-chunks it
+        without ever materializing the whole trace. RNG stream
+        consumption order is identical on every call (schedule, walkers,
+        then the turnover draws), so both paths — and repeated passes
+        over a :meth:`stream` — are bit-identical.
+        """
         rng_schedule = self.streams.get(f"schedule/{profile.name}")
         rng_walk = self.streams.get(f"walk/{profile.name}")
         schedule = ActivitySchedule(
@@ -93,8 +106,6 @@ class WorkloadGenerator:
         offset_bits = self.geometry.offset_bits
         index_bits = self.geometry.index_bits
 
-        cycle_chunks: list[np.ndarray] = []
-        address_chunks: list[np.ndarray] = []
         turnover = rng_walk.random(int(schedule.busy.sum())) < profile.tag_turnover
         pair_counter = 0
 
@@ -125,10 +136,17 @@ class WorkloadGenerator:
                 addresses[positions] = (
                     np.int64(walker.tag_generation) << (offset_bits + index_bits)
                 ) | (sets << offset_bits)
+            yield cycles, addresses
+
+    def generate(self, profile: BenchmarkProfile) -> Trace:
+        """Produce the trace for ``profile`` on this generator's geometry."""
+        cycle_chunks: list[np.ndarray] = []
+        address_chunks: list[np.ndarray] = []
+        for cycles, addresses in self._window_arrays(profile):
             cycle_chunks.append(cycles)
             address_chunks.append(addresses)
 
-        horizon = self.num_windows * self.window_cycles
+        horizon = self.horizon
         if not cycle_chunks:
             return Trace(
                 np.empty(0, dtype=np.int64),
@@ -143,3 +161,16 @@ class WorkloadGenerator:
             horizon=horizon,
             name=profile.name,
         )
+
+    def stream(self, profile: BenchmarkProfile, chunk_cycles: int):
+        """Chunked, out-of-core view of :meth:`generate`.
+
+        Returns a :class:`~repro.trace.stream.TraceStream` that
+        re-derives its windows on every pass; peak memory is one chunk
+        window plus the schedule/walker state, independent of
+        ``num_windows``. Concatenating the stream reproduces
+        ``generate(profile)`` bit-identically (tests enforce it).
+        """
+        from repro.trace.stream import SyntheticTraceStream
+
+        return SyntheticTraceStream(self, profile, chunk_cycles)

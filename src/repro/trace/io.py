@@ -7,17 +7,58 @@ Two formats:
   the format examples and tests use.
 * **Binary** (``.npz``) — compressed numpy archive for long traces.
 
-Both round-trip exactly (tests enforce it).
+Both round-trip exactly (tests enforce it). For traces larger than RAM,
+:mod:`repro.trace.stream` adds a chunked reader over both formats plus a
+memory-mappable directory format (:func:`~repro.trace.stream.save_trace_mmap`).
+
+Name escaping
+-------------
+``trace.name`` is free-form text, so the ``# name:`` header must be
+robust against names that would corrupt the line-oriented format — a
+newline (which would inject arbitrary data or header lines), a carriage
+return, leading/trailing whitespace (which the parser strips), or a
+leading double quote. Such names are written JSON-encoded (ASCII-safe,
+one line); any stored name starting with ``"`` is decoded with
+``json.loads`` on read, falling back to the raw text when it is not
+valid JSON (a file written by an older version). Benign names are
+stored verbatim, so files written before this rule read back unchanged
+and unchanged traces produce byte-identical files. The same rule covers
+the ``name`` entry of the ``.npz`` format (where it additionally keeps
+NUL characters out of numpy's fixed-width unicode storage).
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.trace.trace import Trace
+
+
+def _escape_name(name: str) -> str:
+    """The on-disk form of ``name`` (see module docstring)."""
+    if (
+        name != name.strip()
+        or name.startswith('"')
+        or any(ch in name for ch in ("\n", "\r", "\x00"))
+    ):
+        return json.dumps(name)
+    return name
+
+
+def _unescape_name(stored: str) -> str:
+    """Invert :func:`_escape_name`; tolerate pre-escaping raw names."""
+    if stored.startswith('"'):
+        try:
+            decoded = json.loads(stored)
+        except ValueError:
+            return stored
+        if isinstance(decoded, str):
+            return decoded
+    return stored
 
 
 def save_trace(trace: Trace, path: str | os.PathLike) -> None:
@@ -29,32 +70,47 @@ def save_trace(trace: Trace, path: str | os.PathLike) -> None:
             cycles=trace.cycles,
             addresses=trace.addresses,
             horizon=np.asarray([trace.horizon], dtype=np.int64),
-            name=np.asarray([trace.name]),
+            name=np.asarray([_escape_name(trace.name)]),
         )
         return
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(f"# repro trace v1\n")
+        handle.write("# repro trace v1\n")
         if trace.name:
-            handle.write(f"# name: {trace.name}\n")
+            handle.write(f"# name: {_escape_name(trace.name)}\n")
         handle.write(f"# horizon: {trace.horizon}\n")
         for cycle, address in trace:
             handle.write(f"{cycle} 0x{address:x}\n")
 
 
 def load_trace(path: str | os.PathLike) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    A text trace without a ``# horizon:`` header derives its horizon
+    from the last access (the :class:`Trace` default); an explicit
+    header always wins. Names are unescaped per the module docstring.
+    Directories written by :func:`repro.trace.stream.save_trace_mmap`
+    load too (materialized in full — stream them with
+    :func:`repro.trace.stream.open_trace_stream` instead when they do
+    not fit in memory).
+    """
     path = os.fspath(path)
+    if os.path.isdir(path):
+        # Lazy import: stream.py imports this module's name-escaping
+        # helpers at module level.
+        from repro.trace.stream import load_trace_mmap
+
+        return load_trace_mmap(path)
     if path.endswith(".npz"):
         with np.load(path, allow_pickle=False) as data:
             return Trace(
                 cycles=data["cycles"],
                 addresses=data["addresses"],
                 horizon=int(data["horizon"][0]),
-                name=str(data["name"][0]),
+                name=_unescape_name(str(data["name"][0])),
             )
     cycles: list[int] = []
     addresses: list[int] = []
-    horizon = 0
+    horizon: int | None = None
     name = ""
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, raw in enumerate(handle, start=1):
@@ -66,7 +122,7 @@ def load_trace(path: str | os.PathLike) -> Trace:
                 if body.startswith("horizon:"):
                     horizon = int(body.split(":", 1)[1])
                 elif body.startswith("name:"):
-                    name = body.split(":", 1)[1].strip()
+                    name = _unescape_name(body.split(":", 1)[1].strip())
                 continue
             parts = line.split()
             if len(parts) != 2:

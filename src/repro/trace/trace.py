@@ -27,14 +27,17 @@ class Trace:
     addresses:
         int64 array of byte addresses, same length.
     horizon:
-        Total simulated cycles; defaults to ``cycles[-1] + 1``.
+        Total simulated cycles; ``None`` (the default) derives it as
+        ``cycles[-1] + 1`` (``0`` for an empty trace). An explicit
+        ``horizon=0`` is accepted for an empty trace and means a
+        genuine zero-cycle observation window, not "derive it".
     name:
         Optional label (benchmark name) carried into reports.
     """
 
     cycles: np.ndarray
     addresses: np.ndarray
-    horizon: int = 0
+    horizon: int | None = None
     name: str = ""
     _validated: bool = field(default=False, repr=False, compare=False)
 
@@ -53,7 +56,9 @@ class Trace:
             if np.any(addresses < 0):
                 raise TraceError("addresses must be non-negative")
         default_horizon = int(cycles[-1]) + 1 if cycles.size else 0
-        horizon = self.horizon if self.horizon else default_horizon
+        horizon = default_horizon if self.horizon is None else int(self.horizon)
+        if horizon < 0:
+            raise TraceError("horizon must be non-negative")
         if horizon < default_horizon:
             raise TraceError(
                 f"horizon {horizon} shorter than the last access "
@@ -87,10 +92,16 @@ class Trace:
         """Return the sub-trace with cycles in ``[start_cycle, end_cycle)``.
 
         Cycle stamps are kept absolute; the horizon becomes
-        ``end_cycle``.
+        ``end_cycle``. Bounds must satisfy
+        ``0 <= start_cycle <= end_cycle <= horizon`` — a child trace may
+        not claim more simulated cycles than its parent had.
         """
         if start_cycle < 0 or end_cycle < start_cycle:
             raise TraceError("invalid slice bounds")
+        if end_cycle > self.horizon:
+            raise TraceError(
+                f"slice end {end_cycle} exceeds the trace horizon {self.horizon}"
+            )
         lo = int(np.searchsorted(self.cycles, start_cycle, side="left"))
         hi = int(np.searchsorted(self.cycles, end_cycle, side="left"))
         return Trace(
@@ -105,7 +116,7 @@ class Trace:
         return Trace(self.cycles, self.addresses, self.horizon, name)
 
     @classmethod
-    def from_pairs(cls, pairs, horizon: int = 0, name: str = "") -> "Trace":
+    def from_pairs(cls, pairs, horizon: int | None = None, name: str = "") -> "Trace":
         """Build a trace from an iterable of ``(cycle, address)`` pairs."""
         pairs = list(pairs)
         if pairs:

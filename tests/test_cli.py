@@ -49,6 +49,26 @@ class TestCLI:
         assert "best lifetime" in out
         assert "points/s" in out
 
+    def test_sweep_chunk_cycles_streams_identically(self, capsys):
+        args = ["sweep", "--windows", "40", "--banks", "2,4",
+                "--breakevens", "20,80"]
+        assert main(args) == 0
+        in_memory = capsys.readouterr().out
+        assert main(args + ["--chunk-cycles", "4096"]) == 0
+        streamed = capsys.readouterr().out
+        assert "[streamed, 4,096-cycle chunks]" in streamed
+        # Identical point rows and best-point line; only the header
+        # suffix and the timing line may differ.
+        strip = lambda out: [
+            line for line in out.splitlines()
+            if not line.startswith(("dijkstra:", "swept "))
+        ]
+        assert strip(in_memory) == strip(streamed)
+
+    def test_sweep_rejects_bad_chunk_cycles(self, capsys):
+        assert main(["sweep", "--windows", "40", "--chunk-cycles", "-1"]) == 2
+        assert "--chunk-cycles" in capsys.readouterr().err
+
     def test_sweep_rejects_bad_updates(self, capsys):
         assert main(["sweep", "--updates", "0"]) == 2
         assert "--updates must be >= 1" in capsys.readouterr().err

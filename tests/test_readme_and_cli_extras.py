@@ -51,6 +51,51 @@ class TestReadmeQuickstart:
             assert hasattr(repro, name), name
 
 
+class TestReadmeStreaming:
+    def test_streaming_snippet_runs_as_documented(self, tmp_path):
+        """The README's 'Streaming large traces' example, smaller sizes."""
+        from repro import (
+            ArchitectureConfig,
+            CacheGeometry,
+            WorkloadGenerator,
+            open_trace_stream,
+            profile_for,
+            save_trace_mmap,
+            simulate,
+            simulate_stream,
+            stream_sweep,
+        )
+
+        geometry = CacheGeometry(size_bytes=16 * 1024, line_size=16)
+        generator = WorkloadGenerator(geometry, num_windows=40)
+        profile = profile_for("dijkstra")
+
+        # file-backed stream (memory-mapped directory format)
+        trace = generator.generate(profile)
+        save_trace_mmap(trace, tmp_path / "huge.mmap")
+        stream = open_trace_stream(tmp_path / "huge.mmap", chunk_cycles=4096)
+        config = ArchitectureConfig(geometry, num_banks=4)
+        assert (
+            simulate_stream(config, stream).bank_stats
+            == simulate(config, trace).bank_stats
+        )
+
+        # whole grid in one pass over the synthetic stream
+        base = ArchitectureConfig(
+            geometry,
+            num_banks=4,
+            policy="probing",
+            update_period_cycles=generator.horizon // 16,
+        )
+        grid = stream_sweep(
+            base,
+            generator.stream(profile, chunk_cycles=4096),
+            {"num_banks": [2, 4], "breakeven_override": [5, 20]},
+        )
+        assert len(grid) == 4
+        assert grid.best("lifetime_years").result.lifetime_years > 0
+
+
 class TestCLIExtras:
     def test_profile_command(self, capsys):
         assert main(["profile", "sha", "--size", "8"]) == 0

@@ -71,6 +71,33 @@ class TestTrace:
         with pytest.raises(TraceError):
             simple_trace().slice(5, 4)
 
+    def test_slice_cannot_exceed_parent_horizon(self):
+        trace = simple_trace()  # horizon 21
+        with pytest.raises(TraceError):
+            trace.slice(0, 22)
+        # The full-horizon slice is the boundary case and stays legal.
+        assert trace.slice(0, 21).horizon == 21
+
+    def test_slice_of_empty_trace_bounded_by_horizon(self):
+        empty = Trace(np.empty(0, np.int64), np.empty(0, np.int64), horizon=10)
+        assert empty.slice(0, 10).horizon == 10
+        with pytest.raises(TraceError):
+            empty.slice(0, 11)
+
+    def test_explicit_zero_horizon_on_empty_trace(self):
+        empty = Trace(np.empty(0, np.int64), np.empty(0, np.int64), horizon=0)
+        assert empty.horizon == 0
+        assert empty.access_density == 0.0
+
+    def test_none_horizon_derives(self):
+        assert simple_trace(horizon=None).horizon == 21
+        empty = Trace(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert empty.horizon == 0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(np.empty(0, np.int64), np.empty(0, np.int64), horizon=-1)
+
     def test_with_name(self):
         assert simple_trace().with_name("sha").name == "sha"
 
@@ -127,6 +154,62 @@ class TestTraceIO:
         path.write_text("# a comment\n\n3 0x10\n")
         trace = load_trace(path)
         assert list(trace) == [(3, 0x10)]
+
+    def test_name_with_newline_round_trips(self, tmp_path):
+        # Regression: an unescaped newline used to inject arbitrary
+        # data/header lines into the text format.
+        trace = simple_trace(name="evil\n999 0x10")
+        path = tmp_path / "t.trc"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "evil\n999 0x10"
+        assert len(loaded) == len(trace)
+        assert np.array_equal(loaded.cycles, trace.cycles)
+
+    def test_name_injection_cannot_forge_horizon(self, tmp_path):
+        trace = simple_trace(name="x\n# horizon: 999999")
+        path = tmp_path / "t.trc"
+        save_trace(trace, path)
+        assert load_trace(path).horizon == trace.horizon
+
+    def test_name_with_leading_hash_and_whitespace(self, tmp_path):
+        for name in ("#quoted", "  padded  ", "\ttabbed", '"jsonish"', "#"):
+            trace = simple_trace(name=name)
+            path = tmp_path / "t.trc"
+            save_trace(trace, path)
+            assert load_trace(path).name == name, repr(name)
+
+    def test_benign_names_stay_verbatim_on_disk(self, tmp_path):
+        # Pre-escaping files must keep reading back unchanged, so
+        # benign names may not be rewritten into quoted form.
+        path = tmp_path / "t.trc"
+        save_trace(simple_trace(name="adpcm.dec run-2"), path)
+        assert "# name: adpcm.dec run-2\n" in path.read_text()
+
+    def test_legacy_unescaped_name_still_loads(self, tmp_path):
+        path = tmp_path / "old.trc"
+        path.write_text("# name: plain old name\n# horizon: 30\n3 0x10\n")
+        assert load_trace(path).name == "plain old name"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=40))
+    def test_property_adversarial_names_round_trip(self, name):
+        import tempfile
+
+        trace = simple_trace(name=name)
+        for suffix in (".trc", ".npz"):
+            tmp = tempfile.NamedTemporaryFile(suffix=suffix, delete=False)
+            tmp.close()
+            try:
+                save_trace(trace, tmp.name)
+                loaded = load_trace(tmp.name)
+            finally:
+                import os
+
+                os.unlink(tmp.name)
+            assert loaded.name == name, (suffix, repr(name))
+            assert np.array_equal(loaded.cycles, trace.cycles)
+            assert loaded.horizon == trace.horizon
 
     @settings(max_examples=20, deadline=None)
     @given(st.lists(st.integers(min_value=1, max_value=100), max_size=50))
