@@ -1,0 +1,18 @@
+"""Checkout shim: makes ``python -m reprolint`` work from the repo root.
+
+The real package lives in ``tools/reprolint`` (and installs from there
+via ``pip install -e .``); this shim points this package's ``__path__``
+at it and executes the real ``__init__`` in place, so an uninstalled
+checkout gets the identical package — submodules, ``__main__`` and all
+— without touching ``PYTHONPATH``.
+"""
+
+import os
+
+_REAL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools", "reprolint"
+)
+__path__ = [_REAL]
+
+with open(os.path.join(_REAL, "__init__.py"), encoding="utf-8") as _handle:
+    exec(compile(_handle.read(), os.path.join(_REAL, "__init__.py"), "exec"), globals())

@@ -36,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from typing import Any
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import ArchitectureConfig
@@ -52,14 +53,14 @@ class CodecError(ReproError):
 CONFIG_CODEC_VERSION = 2
 
 
-def canonical_json(payload) -> str:
+def canonical_json(payload: Any) -> str:
     """Serialize ``payload`` to canonical JSON (sorted keys, compact)."""
     return json.dumps(
         payload, sort_keys=True, separators=(",", ":"), allow_nan=False
     )
 
 
-def content_hash(payload) -> str:
+def content_hash(payload: Any) -> str:
     """SHA-256 hex digest of the canonical JSON form of ``payload``."""
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
@@ -72,7 +73,7 @@ def short_hash(full_hash: str, length: int = 12) -> str:
 # ----------------------------------------------------------------------
 # CacheGeometry
 # ----------------------------------------------------------------------
-def geometry_to_dict(geometry: CacheGeometry) -> dict:
+def geometry_to_dict(geometry: CacheGeometry) -> dict[str, Any]:
     """Encode a geometry; every field explicit."""
     return {
         "size_bytes": int(geometry.size_bytes),
@@ -81,7 +82,7 @@ def geometry_to_dict(geometry: CacheGeometry) -> dict:
     }
 
 
-def geometry_from_dict(payload: dict) -> CacheGeometry:
+def geometry_from_dict(payload: Any) -> CacheGeometry:
     """Decode a geometry; unknown keys are errors."""
     if not isinstance(payload, dict):
         raise CodecError(f"geometry payload must be a dict, got {type(payload).__name__}")
@@ -106,7 +107,7 @@ def geometry_from_dict(payload: dict) -> CacheGeometry:
 _TECH_FIELDS = tuple(f.name for f in dataclasses.fields(TechnologyParams))
 
 
-def _normalize_tech_value(name: str, value):
+def _normalize_tech_value(name: str, value: Any) -> int | float:
     """int for ``address_bits``, float for every coefficient.
 
     Normalizing the numeric *type* keeps hashing semantic: Python
@@ -116,7 +117,7 @@ def _normalize_tech_value(name: str, value):
     return int(value) if name == "address_bits" else float(value)
 
 
-def technology_to_dict(technology: TechnologyParams) -> dict:
+def technology_to_dict(technology: TechnologyParams) -> dict[str, Any]:
     """Encode the full coefficient set, defaults included."""
     return {
         name: _normalize_tech_value(name, getattr(technology, name))
@@ -124,7 +125,7 @@ def technology_to_dict(technology: TechnologyParams) -> dict:
     }
 
 
-def technology_from_dict(payload: dict) -> TechnologyParams:
+def technology_from_dict(payload: Any) -> TechnologyParams:
     """Decode coefficients; missing fields take the calibrated defaults."""
     if not isinstance(payload, dict):
         raise CodecError(
@@ -159,7 +160,7 @@ _CONFIG_FIELDS = {
 }
 
 
-def config_to_dict(config: ArchitectureConfig) -> dict:
+def config_to_dict(config: ArchitectureConfig) -> dict[str, Any]:
     """Encode every field of the config — an exact, resimulable payload.
 
     Numeric fields are normalized to one canonical JSON type (int for
@@ -192,7 +193,7 @@ def config_to_dict(config: ArchitectureConfig) -> dict:
     }
 
 
-def config_from_dict(payload: dict) -> ArchitectureConfig:
+def config_from_dict(payload: Any) -> ArchitectureConfig:
     """Decode an exact config payload back into the identical object.
 
     Optional fields absent from the payload take the dataclass defaults
@@ -206,7 +207,7 @@ def config_from_dict(payload: dict) -> ArchitectureConfig:
         raise CodecError(f"unknown config fields: {sorted(unknown)}")
     if "geometry" not in payload:
         raise CodecError("config payload missing 'geometry'")
-    kwargs: dict = {"geometry": geometry_from_dict(payload["geometry"])}
+    kwargs: dict[str, Any] = {"geometry": geometry_from_dict(payload["geometry"])}
     if "technology" in payload and payload["technology"] is not None:
         kwargs["technology"] = technology_from_dict(payload["technology"])
     if payload.get("update_events") is not None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.campaign.codec import short_hash
 from repro.core.results import SimulationResult
@@ -35,6 +35,9 @@ from repro.core.serialize import (
     result_to_dict,
     write_json_atomic,
 )
+
+if TYPE_CHECKING:
+    from repro.aging.lut import LifetimeLUT
 
 #: Subdirectory of a campaign directory holding one file per record.
 RESULTS_DIRNAME = "results"
@@ -54,7 +57,7 @@ class CampaignStore:
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self.directory = os.fspath(directory) if directory is not None else None
-        self._records: dict[tuple[str, str], dict] = {}
+        self._records: dict[tuple[str, str], dict[str, Any]] = {}
         self._results: dict[tuple[str, str], SimulationResult] = {}
         if self.directory is not None:
             self._load_existing()
@@ -64,6 +67,7 @@ class CampaignStore:
     # ------------------------------------------------------------------
     @property
     def _results_dir(self) -> str:
+        assert self.directory is not None  # disk-tier helpers are gated on it
         return os.path.join(self.directory, RESULTS_DIRNAME)
 
     def _record_path(self, key: tuple[str, str]) -> str:
@@ -117,7 +121,7 @@ class CampaignStore:
         return ResultRecord.from_dict(payload)
 
     def get_result(
-        self, key: tuple[str, str], lut=None
+        self, key: tuple[str, str], lut: LifetimeLUT | None = None
     ) -> SimulationResult | None:
         """The full result for ``key``, or ``None`` if absent.
 
@@ -137,7 +141,9 @@ class CampaignStore:
         self._results[key] = result
         return result
 
-    def put(self, key: tuple[str, str], result: SimulationResult) -> dict:
+    def put(
+        self, key: tuple[str, str], result: SimulationResult
+    ) -> dict[str, Any]:
         """Store ``result`` under ``key`` in both tiers; returns its payload."""
         payload = result_to_dict(result)
         self._records[key] = payload

@@ -414,6 +414,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint``: forward to the reprolint CLI.
+
+    reprolint is a sibling package (``tools/reprolint``), installed by
+    ``pip install -e .``; an uninstalled source checkout finds it via
+    the repo-relative ``tools`` directory so ``repro lint`` works in
+    both layouts.
+    """
+    try:
+        from reprolint.cli import main as lint_main
+    except ImportError:
+        import os
+
+        tools_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            "tools",
+        )
+        if not os.path.isdir(os.path.join(tools_dir, "reprolint")):
+            print(
+                "repro lint: the reprolint package is not importable "
+                "(install with `pip install -e .` or run from a source checkout)",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, tools_dir)
+        from reprolint.cli import main as lint_main
+
+    lint_args = list(args.lint_args)
+    if lint_args and lint_args[0] == "--":
+        lint_args = lint_args[1:]
+    return lint_main(lint_args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -452,6 +485,19 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("engines", help="list registered simulation engines")
     sub.add_parser("metrics", help="list registered derived metrics")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's AST-based invariant linter",
+        description="Forwards to `python -m reprolint`; see "
+        "`repro lint -- --list-rules` for the rule catalogue.",
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments passed through to reprolint (prefix with --)",
+    )
 
     p_prof = sub.add_parser("profile", help="characterize a benchmark workload")
     p_prof.add_argument("benchmark", help="benchmark name (e.g. adpcm.dec)")
@@ -551,6 +597,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

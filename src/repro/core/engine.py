@@ -29,7 +29,16 @@ so callers never see a half-populated registry.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 from repro.errors import ConfigurationError, SimulationError, UnknownEngineError
+
+if TYPE_CHECKING:  # import cycle: config/results import through core
+    from repro.aging.lut import LifetimeLUT
+    from repro.core.config import ArchitectureConfig
+    from repro.core.plan import TracePlan
+    from repro.core.results import SimulationResult
+    from repro.trace.trace import Trace
 
 
 class Engine:
@@ -89,11 +98,17 @@ class Engine:
     requires: str = ""
     family: str = "banked"
 
-    def supports(self, config) -> bool:
+    def supports(self, config: ArchitectureConfig) -> bool:
         """Whether this engine can simulate ``config``."""
         raise NotImplementedError
 
-    def run(self, config, trace, lut=None, plan=None):
+    def run(
+        self,
+        config: ArchitectureConfig,
+        trace: Trace,
+        lut: LifetimeLUT | None = None,
+        plan: TracePlan | None = None,
+    ) -> SimulationResult:
         """Simulate ``trace`` on ``config``; return a ``SimulationResult``."""
         raise NotImplementedError
 
@@ -195,7 +210,7 @@ def custom_engines() -> tuple[Engine, ...]:
     )
 
 
-def install_engines(engines) -> None:
+def install_engines(engines: Iterable[Engine]) -> None:
     """Register ``engines``, replacing same-name entries (worker setup)."""
     for engine in engines:
         register_engine(engine, replace=True)
@@ -247,7 +262,7 @@ def result_family(engine: str) -> str:
     return getattr(get_engine(engine), "family", "banked")
 
 
-def resolve_engine(engine: str, config) -> Engine:
+def resolve_engine(engine: str, config: ArchitectureConfig) -> Engine:
     """The engine that will simulate ``config`` under selector ``engine``.
 
     ``"auto"`` walks the auto-eligible engines by descending priority

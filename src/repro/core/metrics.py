@@ -40,13 +40,20 @@ rather than on every simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.aging.lifetime import CacheLifetimeReport, bank_lifetimes_years
 from repro.aging.nbti import NBTIModel
 from repro.errors import ConfigurationError, ModelError, SimulationError, UnknownMetricError
 from repro.power.energy import BankEnergyBreakdown
 from repro.utils.units import years_to_seconds
+
+if TYPE_CHECKING:  # import cycle: config -> ... -> metrics
+    from repro.aging.cell import CharacterizationFramework
+    from repro.aging.lut import LifetimeLUT
+    from repro.cache.stats import CacheStats
+    from repro.core.config import ArchitectureConfig
+    from repro.power.idleness import BankIdleStats
 
 #: Fixed evaluation horizon of the aging metrics (years of operation).
 EVALUATION_HORIZON_YEARS: float = 10.0
@@ -83,11 +90,11 @@ class Measurement:
         Which architectural template produced the counters.
     """
 
-    config: object
+    config: ArchitectureConfig
     trace_name: str
     total_cycles: int
-    bank_stats: tuple
-    cache_stats: object
+    bank_stats: tuple[BankIdleStats, ...]
+    cache_stats: CacheStats
     updates_applied: int
     flush_invalidations: int
     template: str = "banked"
@@ -104,7 +111,7 @@ class Measurement:
         """Useful idleness of each power domain."""
         return [s.useful_idleness for s in self.bank_stats]
 
-    def _derived_cache(self) -> dict:
+    def _derived_cache(self) -> dict[str, Any]:
         # Shared memo for the derivation helpers below: several eager
         # metrics consult the same breakdowns/lifetimes, and without
         # sharing, every simulated point would pay the derivation cost
@@ -141,7 +148,7 @@ class MeasurementTemplate:
 
     name: str
     description: str
-    breakdowns: Callable[["Measurement"], tuple]
+    breakdowns: Callable[["Measurement"], tuple[BankEnergyBreakdown, ...]]
 
 
 _TEMPLATE_REGISTRY: dict[str, MeasurementTemplate] = {}
@@ -172,7 +179,7 @@ def template_names() -> tuple[str, ...]:
     return tuple(sorted(_TEMPLATE_REGISTRY))
 
 
-def _banked_breakdowns(measurement: "Measurement") -> tuple:
+def _banked_breakdowns(measurement: "Measurement") -> tuple[BankEnergyBreakdown, ...]:
     model = measurement.config.make_energy_model()
     return tuple(
         model.bank_energy(
@@ -185,7 +192,9 @@ def _banked_breakdowns(measurement: "Measurement") -> tuple:
     )
 
 
-def _finegrain_breakdowns(measurement: "Measurement") -> tuple:
+def _finegrain_breakdowns(
+    measurement: "Measurement",
+) -> tuple[BankEnergyBreakdown, ...]:
     from repro.finegrain.model import LineEnergyModel
 
     config = measurement.config
@@ -253,7 +262,9 @@ def baseline_energy(measurement: Measurement) -> float:
     return cached
 
 
-def domain_lifetimes(measurement: Measurement, lut=None) -> list[float]:
+def domain_lifetimes(
+    measurement: Measurement, lut: LifetimeLUT | None = None
+) -> list[float]:
     """Per-domain lifetimes (years), memoized per (measurement, lut)."""
     cache = measurement._derived_cache()
     entry = cache.get("lifetimes")
@@ -263,7 +274,9 @@ def domain_lifetimes(measurement: Measurement, lut=None) -> list[float]:
     return entry[1]
 
 
-def lifetime_report(measurement: Measurement, lut=None) -> CacheLifetimeReport:
+def lifetime_report(
+    measurement: Measurement, lut: LifetimeLUT | None = None
+) -> CacheLifetimeReport:
     """Per-domain and worst-case lifetime from the sleep fractions.
 
     Same derivation as
@@ -308,7 +321,9 @@ class Metric:
     provides: tuple[str, ...] = ()
     eager: bool = True
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         """Map the measured counters to ``{value name: value}``."""
         raise NotImplementedError
 
@@ -381,10 +396,12 @@ def get_metric(name: str) -> Metric:
 
 
 def compute_metrics(
-    measurement: Measurement, lut=None, eager_only: bool = True
-) -> dict:
+    measurement: Measurement,
+    lut: LifetimeLUT | None = None,
+    eager_only: bool = True,
+) -> dict[str, Any]:
     """Merged ``{value name: value}`` of the registered metrics."""
-    values: dict = {}
+    values: dict[str, Any] = {}
     for metric in registered_metrics():
         if eager_only and not metric.eager:
             continue
@@ -392,7 +409,9 @@ def compute_metrics(
     return values
 
 
-def compute_metric(measurement: Measurement, value_name: str, lut=None):
+def compute_metric(
+    measurement: Measurement, value_name: str, lut: LifetimeLUT | None = None
+) -> Any:
     """One named value, recomputed from counters (lazy metrics included)."""
     owner = _PROVIDERS.get(value_name)
     if owner is None:
@@ -413,7 +432,9 @@ class EnergyMetric(Metric):
     description = "managed vs unmanaged-monolithic energy (pJ) and Esav"
     provides = ("energy_pj", "baseline_energy_pj", "energy_savings")
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         energy = sum(b.total for b in energy_breakdowns(measurement))
         baseline = baseline_energy(measurement)
         savings = 1.0 - energy / baseline if baseline else 0.0
@@ -431,7 +452,9 @@ class LifetimeMetric(Metric):
     description = "cache lifetime = worst power domain's lifetime (years)"
     provides = ("lifetime_years", "limiting_bank")
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         report = lifetime_report(measurement, lut)
         return {
             "lifetime_years": report.cache_lifetime_years,
@@ -446,7 +469,9 @@ class LifetimeSpreadMetric(Metric):
     description = "per-bank (or per-line) lifetime spread, years"
     provides = ("bank_lifetime_spread_years",)
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         lifetimes = domain_lifetimes(measurement, lut)
         return {"bank_lifetime_spread_years": max(lifetimes) - min(lifetimes)}
 
@@ -458,7 +483,9 @@ class IdlenessSpreadMetric(Metric):
     description = "per-bank (or per-line) useful-idleness spread"
     provides = ("idleness_spread",)
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         fractions = measurement.sleep_fractions
         return {"idleness_spread": max(fractions) - min(fractions)}
 
@@ -470,7 +497,9 @@ class TransitionShareMetric(Metric):
     description = "sleep/wake transition energy as a share of total energy"
     provides = ("sleep_transition_share",)
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         breakdowns = energy_breakdowns(measurement)
         total = sum(b.total for b in breakdowns)
         transitions = sum(b.transitions for b in breakdowns)
@@ -492,7 +521,9 @@ class NBTIDeltaVthMetric(Metric):
     )
     provides = ("nbti_delta_vth_10y_mv",)
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         worst_sleep = min(measurement.sleep_fractions)
         model = NBTIModel()
         shift = model.delta_vth(
@@ -501,7 +532,7 @@ class NBTIDeltaVthMetric(Metric):
         return {"nbti_delta_vth_10y_mv": 1000.0 * float(shift)}
 
 
-def _characterization_framework():
+def _characterization_framework() -> CharacterizationFramework:
     """Memoized calibrated framework (butterfly solver is expensive)."""
     global _FRAMEWORK
     if _FRAMEWORK is None:
@@ -511,7 +542,7 @@ def _characterization_framework():
     return _FRAMEWORK
 
 
-_FRAMEWORK = None
+_FRAMEWORK: CharacterizationFramework | None = None
 
 
 class SNMMarginMetric(Metric):
@@ -531,7 +562,9 @@ class SNMMarginMetric(Metric):
     provides = ("snm_margin_10y_mv",)
     eager = False
 
-    def compute(self, measurement: Measurement, lut=None) -> dict:
+    def compute(
+        self, measurement: Measurement, lut: LifetimeLUT | None = None
+    ) -> dict[str, Any]:
         framework = _characterization_framework()
         worst_sleep = min(measurement.sleep_fractions)
         snm = framework.snm_at(EVALUATION_HORIZON_YEARS, AGING_P0, worst_sleep)
@@ -574,13 +607,13 @@ def custom_templates() -> tuple[MeasurementTemplate, ...]:
     )
 
 
-def install_metrics(metrics) -> None:
+def install_metrics(metrics: Iterable[Metric]) -> None:
     """Register ``metrics``, replacing same-name entries (worker setup)."""
     for metric in metrics:
         register_metric(metric, replace=True)
 
 
-def install_templates(templates) -> None:
+def install_templates(templates: Iterable[MeasurementTemplate]) -> None:
     """Register ``templates``, replacing same-name entries (worker setup)."""
     for template in templates:
         register_template(template, replace=True)

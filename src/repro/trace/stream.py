@@ -340,9 +340,13 @@ def save_trace_mmap(trace: Trace, directory: str | os.PathLike) -> None:
         "name": _escape_name(trace.name),
         "accesses": len(trace),
     }
-    with open(os.path.join(directory, MMAP_META), "w", encoding="utf-8") as handle:
-        json.dump(meta, handle, indent=2)
-        handle.write("\n")
+    # Atomic: a crash mid-write must leave either the old meta.json or
+    # the complete new one, never a truncated file that poisons every
+    # later open of the directory (REPRO003). Imported lazily, as in
+    # campaign/spec.py — trace modules stay importable on their own.
+    from repro.core.serialize import write_json_atomic
+
+    write_json_atomic(os.path.join(directory, MMAP_META), meta)
 
 
 def load_trace_mmap(directory: str | os.PathLike) -> Trace:

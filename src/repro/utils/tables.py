@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.errors import ConfigurationError
+
 
 def _cell(value: object, fmt: str | None) -> str:
     if value is None:
@@ -48,7 +50,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in materialised:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(row)} cells but table has {len(headers)} columns"
             )
         for i, cell in enumerate(row):

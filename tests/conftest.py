@@ -7,8 +7,18 @@ is cheap and constructed per test.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
+
+# The reprolint tool package lives beside the library in tools/ (it is
+# installed from there by `pip install -e .`); make it importable when
+# the suite runs from an uninstalled checkout with only PYTHONPATH=src.
+_TOOLS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
 
 from repro.aging.cell import CharacterizationFramework
 from repro.aging.lut import LifetimeLUT

@@ -1,0 +1,32 @@
+"""Strict-typing gate over the typed core subset (see mypy.ini).
+
+Skipped when mypy is not installed (the runtime image only needs
+numpy); the CI lint job installs the ``[lint]`` extra and runs this as
+a hard gate, alongside the direct ``mypy`` invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_typed_subset_passes_strict_mypy():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_py_typed_marker_ships():
+    assert os.path.exists(os.path.join(REPO_ROOT, "src", "repro", "py.typed"))

@@ -88,7 +88,7 @@ class TestFormatTable:
         assert text.splitlines()[0] == "My table"
 
     def test_rejects_ragged_rows(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_table(["a", "b"], [[1]])
 
     def test_column_alignment(self):

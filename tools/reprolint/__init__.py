@@ -1,0 +1,59 @@
+"""reprolint — AST-based invariant linter for the repro simulation core.
+
+Static analysis tuned to this repository: every rule encodes an
+invariant that an earlier PR established the hard way (a real bug or a
+review catch) and that nothing else enforces mechanically. See
+:mod:`reprolint.rules` for the built-ins and README's "Static analysis
+& invariants" section for the user-facing index.
+
+Usage::
+
+    python -m reprolint [paths...]      # lint (default: src/repro)
+    repro lint --list-rules             # same tool via the repro CLI
+
+Extending::
+
+    from reprolint import Rule, register_rule
+
+    class MyRule(Rule):
+        rule_id = "REPRO042"
+        title = "..."
+        scope = ("mymodule/*.py",)
+        def check(self, module):
+            ...yield findings...
+
+    register_rule(MyRule())
+"""
+
+from reprolint.baseline import apply_baseline, load_baseline, save_baseline
+from reprolint.framework import (
+    Finding,
+    LintError,
+    Module,
+    Rule,
+    get_rule,
+    register_rule,
+    registered_rules,
+    rule_ids,
+    run_lint,
+    unregister_rule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Finding",
+    "LintError",
+    "Module",
+    "Rule",
+    "apply_baseline",
+    "get_rule",
+    "load_baseline",
+    "register_rule",
+    "registered_rules",
+    "rule_ids",
+    "run_lint",
+    "save_baseline",
+    "unregister_rule",
+]

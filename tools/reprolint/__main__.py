@@ -1,0 +1,7 @@
+"""``python -m reprolint`` entry point."""
+
+import sys
+
+from reprolint.cli import main
+
+sys.exit(main())

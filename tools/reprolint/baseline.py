@@ -1,0 +1,75 @@
+"""Baseline handling: grandfathered findings that do not fail the build.
+
+A baseline entry matches on ``(rule, path, message)`` — not the line
+number, so unrelated edits never resurrect a grandfathered finding —
+and entries are consumed as a multiset: two identical violations need
+two baseline entries, and fixing one of them shrinks the debt visibly.
+
+The repo ships an **empty** baseline (``.reprolint-baseline.json``);
+the mechanism exists so a future rule can land before its backlog is
+burned down, without turning the gate off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+from reprolint.framework import Finding, LintError
+
+BASELINE_VERSION = 1
+
+#: Used when no ``--baseline`` flag is given and this file exists in
+#: the current directory (how CI and ``repro lint`` pick up the repo's
+#: committed baseline with zero configuration).
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+
+def load_baseline(path: str) -> list[dict[str, object]]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except ValueError as exc:
+            raise LintError(f"{path}: not a valid baseline file ({exc})") from None
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise LintError(f"{path}: not a valid baseline file (no findings key)")
+    findings = payload["findings"]
+    if not isinstance(findings, list):
+        raise LintError(f"{path}: baseline findings must be a list")
+    return findings
+
+
+def save_baseline(path: str, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable bytes)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def apply_baseline(
+    findings: list[Finding], baseline_entries: list[dict[str, object]]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed-count) against the baseline."""
+    budget: Counter[tuple[str, str, str]] = Counter()
+    for entry in baseline_entries:
+        budget[(str(entry.get("rule")), str(entry.get("path")), str(entry.get("message")))] += 1
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

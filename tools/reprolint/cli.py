@@ -1,0 +1,109 @@
+"""``python -m reprolint`` / ``repro lint`` command-line front-end.
+
+Exit codes: 0 clean (after baseline), 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from reprolint.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from reprolint.framework import LintError, rule_ids, run_lint
+from reprolint.report import render_json, render_rules, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant linter for the repro simulation core: "
+            "encodes the repo's review-hardened invariants (integer-exact "
+            "counters, hash-stable codecs, atomic writes, registry "
+            "dispatch, spawn-safe workers, ...) as mechanical checks."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    select = None
+    if args.select:
+        select = tuple(part.strip() for part in args.select.split(",") if part.strip())
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    try:
+        findings = run_lint(args.paths, select=select)
+        if args.write_baseline:
+            target = baseline_path or DEFAULT_BASELINE
+            save_baseline(target, findings)
+            print(
+                f"reprolint: wrote {len(findings)} finding(s) to {target}",
+                file=sys.stderr,
+            )
+            return 0
+        baseline_entries = load_baseline(baseline_path) if baseline_path else []
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    fresh, suppressed = apply_baseline(findings, baseline_entries)
+    render = render_json if args.format == "json" else render_text
+    print(render(fresh, suppressed))
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

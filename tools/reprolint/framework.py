@@ -1,0 +1,268 @@
+"""reprolint framework: modules, findings, and the rule registry.
+
+The linter mirrors the shape of :mod:`repro.core.engine`: rules are
+small objects registered under a stable id (``REPRO001``...), every
+consumer resolves them through one registry, and built-ins register
+themselves when :mod:`reprolint.rules` imports. A rule sees one parsed
+module at a time and yields :class:`Finding` objects; scoping (which
+modules a rule audits) lives on the rule itself, so an invariant that
+only holds in the counter kernels never fires on unrelated code.
+
+Suppression, in order of preference:
+
+* fix the code (the whole point);
+* an inline pragma ``# reprolint: disable=REPRO003`` on the offending
+  line (or ``disable=all``), for the rare deliberate exception;
+* a baseline file entry (see :mod:`reprolint.baseline`) for
+  grandfathered findings that a future PR will burn down.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Iterable, Iterator
+
+
+class LintError(Exception):
+    """The linter itself was misconfigured (bad rule id, bad select...)."""
+
+
+#: ``# reprolint: disable=REPRO001,REPRO002`` (or ``disable=all``).
+_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Rule ids look like REPRO001 — stable, grep-able, sortable.
+_RULE_ID = re.compile(r"^REPRO\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes the line number: a grandfathered finding
+        must not resurface just because unrelated edits moved it.
+        """
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class Module:
+    """One parsed source module handed to every applicable rule."""
+
+    def __init__(self, path: str, rel_path: str, text: str) -> None:
+        self.path = path
+        #: posix-style path relative to the lint invocation root; this
+        #: is what scopes match and what findings report.
+        self.rel_path = rel_path.replace(os.sep, "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+
+    def disabled_on_line(self, line: int) -> frozenset[str]:
+        """Rule ids suppressed by an inline pragma on ``line``."""
+        if 1 <= line <= len(self.lines):
+            match = _PRAGMA.search(self.lines[line - 1])
+            if match:
+                return frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+        return frozenset()
+
+
+class Rule:
+    """Base class (and protocol) for lint rules.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable registry key, ``REPRO`` + three digits.
+    title:
+        One-line invariant statement (shown by ``--list-rules``).
+    rationale:
+        The historical bug or review note the rule encodes.
+    scope:
+        Glob patterns of module paths the rule audits. A pattern
+        matches the module's reported path directly or as a suffix
+        (``power/idleness.py`` matches ``src/repro/power/idleness.py``),
+        so rules behave identically however the linter is invoked.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scope: tuple[str, ...] = ("*.py",)
+
+    def applies_to(self, rel_path: str) -> bool:
+        return any(
+            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
+            for pattern in self.scope
+        )
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        """Yield findings for ``module``; rules must not mutate it."""
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the module that registers the built-in rules (once)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    import reprolint.rules  # noqa: F401  (registers REPRO001..008)
+
+
+def register_rule(rule: Rule, replace: bool = False) -> None:
+    """Add ``rule`` to the registry under ``rule.rule_id``.
+
+    Raises
+    ------
+    LintError
+        For a malformed id or a duplicate registration without
+        ``replace=True`` — two rules silently shadowing each other is
+        exactly the bug a registry must prevent.
+    """
+    rule_id = getattr(rule, "rule_id", "")
+    if not _RULE_ID.match(rule_id or ""):
+        raise LintError(
+            f"rule id {rule_id!r} is malformed; expected REPRO followed by 3 digits"
+        )
+    if not replace and rule_id in _REGISTRY:
+        raise LintError(
+            f"rule {rule_id} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[rule_id] = rule
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a registered rule (primarily for tests and plugins)."""
+    _ensure_builtins()
+    if _REGISTRY.pop(rule_id, None) is None:
+        raise LintError(f"unknown rule {rule_id!r}; known: {', '.join(rule_ids())}")
+
+
+def rule_ids() -> tuple[str, ...]:
+    """All registered rule ids, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a registered rule by id, with a self-diagnosing error."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(
+            f"unknown rule {rule_id!r}; known: {', '.join(rule_ids())}"
+        ) from None
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """All registered rules, sorted by id."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def iter_source_files(paths: Iterable[str]) -> Iterator[tuple[str, str]]:
+    """Yield ``(abs_path, reported_path)`` for every ``.py`` under ``paths``.
+
+    Files are yielded in sorted order so reports and baselines are
+    deterministic across filesystems.
+    """
+    for root in paths:
+        root = os.fspath(root)
+        if os.path.isfile(root):
+            yield os.path.abspath(root), root.replace(os.sep, "/")
+            continue
+        if not os.path.isdir(root):
+            raise LintError(f"{root}: no such file or directory")
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                yield os.path.abspath(full), os.path.relpath(full).replace(os.sep, "/")
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` with the selected rules.
+
+    ``select`` narrows to specific rule ids (validated against the
+    registry); the default runs every registered rule. Returns findings
+    sorted by location; inline pragmas are already applied, baselines
+    are the caller's concern (see :func:`reprolint.baseline.apply_baseline`).
+    """
+    if select is not None:
+        rules = tuple(get_rule(rule_id) for rule_id in select)
+    else:
+        rules = registered_rules()
+    findings: list[Finding] = []
+    for path, rel_path in iter_source_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            module = Module(path, rel_path, text)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=rel_path.replace(os.sep, "/"),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule_id="REPRO000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            if not rule.applies_to(module.rel_path):
+                continue
+            for finding in rule.check(module):
+                disabled = module.disabled_on_line(finding.line)
+                if "all" in disabled or finding.rule_id in disabled:
+                    continue
+                findings.append(finding)
+    return sorted(findings)

@@ -1,0 +1,45 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from reprolint.framework import Finding, registered_rules
+
+
+def render_text(findings: list[Finding], suppressed: int = 0) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        breakdown = ", ".join(f"{rule} x{n}" for rule, n in sorted(by_rule.items()))
+        lines.append(f"reprolint: {len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("reprolint: clean")
+    if suppressed:
+        lines.append(f"reprolint: {suppressed} baselined finding(s) suppressed")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], suppressed: int = 0) -> str:
+    """Stable JSON document (sorted keys) for tooling and CI artifacts."""
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "suppressed": suppressed,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` table: id, scope, invariant, rationale."""
+    lines = []
+    for rule in registered_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"    scope: {', '.join(rule.scope)}")
+        if rule.rationale:
+            lines.append(f"    why:   {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,728 @@
+"""Built-in reprolint rules: the repo's review-hardened invariants.
+
+Each rule encodes an invariant that was established (usually after a
+real bug) in an earlier PR and that nothing else enforces mechanically.
+The rule docstrings name the motivating incident; README's "Static
+analysis & invariants" section is the user-facing index.
+
+Rules are deliberately scoped to the modules where their invariant
+lives — REPRO001 does not care about float arrays in the energy model,
+only in the counter kernels that must stay integer-exact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.framework import Finding, Module, Rule, register_rule
+
+#: Engine names the registry owns. String-comparing against these
+#: outside the registry module is exactly the dispatch style PR 4
+#: removed (REPRO004).
+ENGINE_NAMES = frozenset({"fast", "reference", "finegrain", "auto"})
+
+#: numpy float dtype spellings REPRO001 refuses in counter kernels.
+_FLOAT_DTYPE_ATTRS = frozenset(
+    {"float16", "float32", "float64", "float128", "double", "single", "half"}
+)
+
+#: ``np.random`` attributes that *are* seed-disciplined constructors;
+#: everything else on the module is the process-global legacy RNG.
+_SEEDED_RANDOM_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: stdlib ``random`` module functions that draw from the global RNG.
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "seed",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+    }
+)
+
+#: Builtin exception types library code must not raise directly —
+#: callers contract on ``repro.errors.ReproError`` (REPRO006).
+#: TypeError/KeyError/IndexError/NotImplementedError stay allowed:
+#: they are Python *protocol* errors (wrong argument type, mapping
+#: lookup miss, abstract method), not library semantics.
+_FORBIDDEN_RAISES = frozenset(
+    {"Exception", "BaseException", "ValueError", "RuntimeError", "OSError", "IOError"}
+)
+
+#: Calls that produce *fresh* state — the RHS shapes REPRO008 treats as
+#: "re-initialization" when assigned to a carry attribute per chunk.
+_FRESH_STATE_CALLS = frozenset(
+    {
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "array",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+        "arange",
+        "dict",
+        "list",
+        "set",
+    }
+)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(node: ast.Call) -> str:
+    return dotted_name(node.func)
+
+
+def keyword(node: ast.Call, name: str) -> ast.keyword | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+def has_double_star(node: ast.Call) -> bool:
+    return any(kw.arg is None for kw in node.keywords)
+
+
+def _is_float_dtype_value(node: ast.expr) -> bool:
+    """Whether a ``dtype=`` value names a float dtype."""
+    if isinstance(node, ast.Name):
+        return node.id == "float"
+    if isinstance(node, ast.Attribute):
+        return node.attr in _FLOAT_DTYPE_ATTRS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.startswith(("float", "f8", "f4", "f2", "<f", ">f"))
+    return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Set display, set comprehension, or a ``set(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return isinstance(node, ast.Call) and dotted_name(node.func) in (
+        "set",
+        "frozenset",
+    )
+
+
+def _identifiers(node: ast.AST) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+class _ScopedVisitorRule(Rule):
+    """Rule implemented as a single-pass visitor over the module tree."""
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        self.visit(module, module.tree, findings)
+        return findings
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        raise NotImplementedError
+
+
+class IntegerCounterPurity(_ScopedVisitorRule):
+    """REPRO001 — counter kernels stay integer-exact.
+
+    Motivated by the PR 2 ``_per_line_sleep`` bug: a ``np.bincount``
+    with ``weights=`` silently accumulates in float64, so cycle
+    counters lost exactness past 2**53 and differential tests against
+    the reference engine drifted. Counters are int64 end to end;
+    derived rates belong in ``@property`` accessors.
+    """
+
+    rule_id = "REPRO001"
+    title = "counter kernels must stay integer-exact (int64, no float math)"
+    rationale = (
+        "PR 2: float64 np.bincount(weights=...) in _per_line_sleep broke "
+        "bit-identity; fixed with np.add.at on an int64 buffer"
+    )
+    scope = (
+        "power/idleness.py",
+        "core/fastsim.py",
+        "core/streamsim.py",
+        "cache/stats.py",
+    )
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        property_spans: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(
+                    dotted_name(d) in ("property", "cached_property", "functools.cached_property")
+                    for d in node.decorator_list
+                ):
+                    property_spans.append((node.lineno, node.end_lineno or node.lineno))
+
+        def in_property(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(start <= line <= end for start, end in property_spans)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name.endswith("bincount") and keyword(node, "weights") is not None:
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "np.bincount(weights=...) accumulates in float64; "
+                            "counters must stay int64 (use np.add.at on an "
+                            "integer buffer)",
+                        )
+                    )
+                dtype = keyword(node, "dtype")
+                if dtype is not None and _is_float_dtype_value(dtype.value):
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "float dtype in a counter kernel; counters are "
+                            "integer-exact (int64)",
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                if not in_property(node):
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "true division in a counter kernel; use // for "
+                            "integer math, or move the derived rate into a "
+                            "@property",
+                        )
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                if not in_property(node):
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "in-place true division in a counter kernel; "
+                            "counters are integer-exact",
+                        )
+                    )
+
+
+class HashStableCodec(_ScopedVisitorRule):
+    """REPRO002 — everything feeding a content hash is byte-stable.
+
+    The campaign store keys records by the SHA-256 of canonical JSON;
+    a ``json.dumps`` without the canonical kwargs, or a set iterated
+    into a payload, makes equal configs hash differently across runs
+    (set order is salted per process) and silently forks the store.
+    """
+
+    rule_id = "REPRO002"
+    title = "codec payloads must be canonical: sorted keys, fixed separators, no NaN, no set iteration"
+    rationale = (
+        "PR 3: store identity is sha256(canonical_json(payload)); "
+        "int/float normalization and key sorting were review findings"
+    )
+    scope = (
+        "campaign/codec.py",
+        "campaign/tracespec.py",
+        "campaign/spec.py",
+    )
+
+    _HASH_SINKS = ("canonical_json", "content_hash", "config_hash", "sha256")
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name.endswith("json.dumps") or name == "dumps":
+                if not has_double_star(node):
+                    missing = [
+                        wanted
+                        for wanted in ("sort_keys", "separators", "allow_nan")
+                        if keyword(node, wanted) is None
+                    ]
+                    if missing:
+                        out.append(
+                            self.finding(
+                                module,
+                                node,
+                                "json.dumps in a codec module without "
+                                f"{'/'.join(missing)}; hash-stable payloads "
+                                "require sort_keys=True, explicit separators "
+                                "and allow_nan=False",
+                            )
+                        )
+            sink = name.rsplit(".", 1)[-1]
+            if sink in self._HASH_SINKS or name in ("list", "tuple"):
+                for arg in node.args:
+                    if _is_set_expr(arg):
+                        out.append(
+                            self.finding(
+                                module,
+                                node,
+                                "set iteration feeding a hashed payload; set "
+                                "order is process-salted — sort first "
+                                "(sorted(...))",
+                            )
+                        )
+
+
+class AtomicWrites(_ScopedVisitorRule):
+    """REPRO003 — result/meta JSON reaches disk atomically.
+
+    A crash between ``open(path, "w")`` and the final flush leaves a
+    truncated JSON file that poisons every later campaign resume. All
+    persistent JSON goes through ``write_json_atomic`` (temp file +
+    ``os.replace``); this rule's first self-run caught the
+    ``meta.json`` write in ``save_trace_mmap``.
+    """
+
+    rule_id = "REPRO003"
+    title = "persistent JSON must be written via write_json_atomic"
+    rationale = (
+        "PR 3/5: campaign records are resumable state; the non-atomic "
+        "meta.json write in trace/stream.py was this rule's first catch"
+    )
+    scope = ("*.py",)
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        exempt_spans: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "write_json_atomic"
+            ):
+                exempt_spans.append((node.lineno, node.end_lineno or node.lineno))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not (name.endswith("json.dump") or name == "dump"):
+                continue
+            line = node.lineno
+            if any(start <= line <= end for start, end in exempt_spans):
+                continue
+            out.append(
+                self.finding(
+                    module,
+                    node,
+                    "direct json.dump to disk; route persistent JSON through "
+                    "repro.core.serialize.write_json_atomic (temp file + "
+                    "os.replace) so a crash can never truncate it",
+                )
+            )
+
+
+class RegistryDiscipline(_ScopedVisitorRule):
+    """REPRO004 — dispatch on capabilities, not engine-name strings.
+
+    PR 4 turned every ``engine == "fast"`` special case into a
+    registry capability query (``supports()``, ``run_group``,
+    ``supports_streaming``); a name comparison outside the registry
+    module silently excludes third-party engines from whole code paths.
+    """
+
+    rule_id = "REPRO004"
+    title = "no engine-name string comparisons outside the registry"
+    rationale = (
+        "PR 4: the sweep's breakeven fast path once keyed on the name "
+        "'fast'; plugins with the same capability were skipped"
+    )
+    scope = ("*.py",)
+    #: The registry itself resolves names; that is its job.
+    exempt = ("core/engine.py",)
+
+    def applies_to(self, rel_path: str) -> bool:
+        from fnmatch import fnmatch
+
+        if any(
+            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
+            for pattern in self.exempt
+        ):
+            return False
+        return super().applies_to(rel_path)
+
+    @staticmethod
+    def _engine_name_constants(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, str) and node.value in ENGINE_NAMES
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(
+                isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+                and elt.value in ENGINE_NAMES
+                for elt in node.elts
+            )
+        return False
+
+    @staticmethod
+    def _mentions_engine(node: ast.expr) -> bool:
+        return any("engine" in ident.lower() for ident in _identifiers(node))
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn))
+                for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if not any(self._engine_name_constants(operand) for operand in operands):
+                continue
+            if not any(
+                self._mentions_engine(operand)
+                for operand in operands
+                if not self._engine_name_constants(operand)
+            ):
+                continue
+            out.append(
+                self.finding(
+                    module,
+                    node,
+                    "engine-name string comparison; dispatch through the "
+                    "registry instead (resolve_engine / supports() / "
+                    "result_family / supports_streaming)",
+                )
+            )
+
+
+class SpawnSafeWorkers(_ScopedVisitorRule):
+    """REPRO005 — process pools ship state via the initializer.
+
+    Under the spawn start method (macOS/Windows default) workers
+    inherit nothing: lambdas and closures fail to pickle, and module
+    globals captured at fork time silently vanish. The sweep ships the
+    trace, LUT and plugin registries through the pool initializer;
+    anything submitted must be a top-level function.
+    """
+
+    rule_id = "REPRO005"
+    title = "process-pool work must be spawn-safe (initializer-shipped state, no lambdas)"
+    rationale = (
+        "PR 2/4: the parallel sweep's trace and plugin registries "
+        "travel via the pool initializer; spawn-mode plugin sweeps "
+        "were a review catch"
+    )
+    scope = ("analysis/sweep.py", "campaign/run.py")
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name.endswith("ProcessPoolExecutor"):
+                if keyword(node, "initializer") is None and not has_double_star(node):
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "ProcessPoolExecutor without initializer=; shared "
+                            "state (trace, LUT, plugin registries) must be "
+                            "shipped to spawn-mode workers explicitly",
+                        )
+                    )
+            elif name.rsplit(".", 1)[-1] in ("submit", "map") and "." in name:
+                for arg in node.args[:1]:
+                    if isinstance(arg, ast.Lambda):
+                        out.append(
+                            self.finding(
+                                module,
+                                node,
+                                "lambda submitted to a process pool; lambdas "
+                                "do not pickle under spawn — use a top-level "
+                                "function",
+                            )
+                        )
+
+
+class ExceptionPolicy(_ScopedVisitorRule):
+    """REPRO006 — failures are loud and derive from ``repro.errors``.
+
+    Callers contract on ``except ReproError``; a bare ``except`` or a
+    raised builtin breaks that contract, and a silent ``pass`` handler
+    hides corruption until a store or sweep is already wrong.
+    """
+
+    rule_id = "REPRO006"
+    title = "no bare except / silent pass; library errors derive from repro.errors"
+    rationale = (
+        "errors.py: 'callers can catch library failures with a single "
+        "except clause' — only true if nothing raises bare builtins"
+    )
+    scope = ("*.py",)
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "bare except: catches SystemExit/KeyboardInterrupt "
+                            "too; name the exceptions you can actually handle",
+                        )
+                    )
+                if (
+                    len(node.body) == 1
+                    and isinstance(node.body[0], ast.Pass)
+                    and node.type is not None
+                    and dotted_name(node.type) not in ("OSError", "KeyError")
+                ):
+                    # except OSError: pass around best-effort cleanup
+                    # (e.g. unlinking a temp file) is the one sanctioned
+                    # swallow; everything else must handle or re-raise.
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            "exception silently swallowed (except ...: pass); "
+                            "handle it, re-raise, or narrow to best-effort "
+                            "cleanup (OSError)",
+                        )
+                    )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = (
+                    call_name(exc) if isinstance(exc, ast.Call) else dotted_name(exc)
+                )
+                if name in _FORBIDDEN_RAISES:
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"raise {name}: library errors must derive from "
+                            "repro.errors.ReproError so callers can catch "
+                            "them with one except clause",
+                        )
+                    )
+
+
+class Determinism(_ScopedVisitorRule):
+    """REPRO007 — library results never depend on wall clock or global RNG.
+
+    Bit-identical reproduction is the repo's headline claim; randomness
+    flows from profile/spec seeds through ``np.random.default_rng``,
+    and nothing in library code reads the clock into a result.
+    ``time.perf_counter`` stays allowed: it feeds progress display,
+    never results.
+    """
+
+    rule_id = "REPRO007"
+    title = "no wall-clock reads or unseeded global RNG in library code"
+    rationale = (
+        "trace/synthetic.py threads seeds end-to-end; a np.random.* "
+        "module call would make campaigns unreproducible"
+    )
+    scope = ("*.py",)
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in ("time.time", "time.time_ns"):
+                out.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{name}() in library code; results must not depend "
+                        "on the wall clock (time.perf_counter is fine for "
+                        "progress display)",
+                    )
+                )
+            elif name.startswith("datetime.") and name.rsplit(".", 1)[-1] in (
+                "now",
+                "utcnow",
+                "today",
+            ):
+                out.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{name}() in library code; timestamps are inputs, "
+                        "not ambient state",
+                    )
+                )
+            elif name in ("os.urandom", "uuid.uuid4", "secrets.token_hex"):
+                out.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{name}() is unseedable; identity and randomness "
+                        "must flow from profile/spec seeds",
+                    )
+                )
+            else:
+                parts = name.split(".")
+                if (
+                    len(parts) >= 3
+                    and parts[-2] == "random"
+                    and parts[0] in ("np", "numpy")
+                    and parts[-1] not in _SEEDED_RANDOM_API
+                ):
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"{name}() uses numpy's process-global RNG; build "
+                            "a Generator from a seed "
+                            "(np.random.default_rng(seed))",
+                        )
+                    )
+                elif (
+                    len(parts) == 2
+                    and parts[0] == "random"
+                    and parts[1] in _STDLIB_RANDOM_FNS
+                ):
+                    out.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"{name}() draws from the stdlib global RNG; "
+                            "randomness must flow from seeds",
+                        )
+                    )
+
+
+class StreamingCarry(_ScopedVisitorRule):
+    """REPRO008 — carry state survives the per-chunk path.
+
+    The streaming engine's whole correctness story is that tracker and
+    gap state established in ``__init__`` is *mutated* chunk by chunk;
+    rebinding such an attribute to a fresh array/zero inside the
+    per-chunk path resets the carry and the results silently diverge
+    from the one-shot engines (only on multi-chunk inputs, which is
+    exactly where tests are thinnest).
+    """
+
+    rule_id = "REPRO008"
+    title = "carry-state attributes must not be re-initialized per chunk"
+    rationale = (
+        "PR 5: StreamingGapAccumulator / tracker stacks carry per-bank "
+        "state across chunks; bit-identity to the one-shot kernels "
+        "depends on it"
+    )
+    scope = ("core/streamsim.py", "power/idleness.py")
+
+    _PER_CHUNK_METHODS = frozenset(
+        {"process", "process_chunk", "update", "add", "advance", "consume"}
+    )
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            carry: set[str] = set()
+            for method in cls.body:
+                if (
+                    isinstance(method, ast.FunctionDef)
+                    and method.name == "__init__"
+                ):
+                    for node in ast.walk(method):
+                        if isinstance(node, ast.Assign):
+                            for target in node.targets:
+                                if (
+                                    isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"
+                                ):
+                                    carry.add(target.attr)
+            if not carry:
+                continue
+            for method in cls.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name not in self._PER_CHUNK_METHODS:
+                    continue
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr in carry
+                        ):
+                            continue
+                        if self._is_fresh_state(node.value):
+                            out.append(
+                                self.finding(
+                                    module,
+                                    node,
+                                    f"carry attribute self.{target.attr} is "
+                                    f"re-initialized inside {method.name}(); "
+                                    "carry state must persist across chunks "
+                                    "(mutate in place or derive from the "
+                                    "previous value)",
+                                )
+                            )
+
+    @staticmethod
+    def _is_fresh_state(value: ast.expr) -> bool:
+        if isinstance(value, ast.Constant):
+            return True
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp)):
+            return True
+        if isinstance(value, ast.Call):
+            return dotted_name(value.func).rsplit(".", 1)[-1] in _FRESH_STATE_CALLS
+        return False
+
+
+def _register_builtins() -> None:
+    for rule_cls in (
+        IntegerCounterPurity,
+        HashStableCodec,
+        AtomicWrites,
+        RegistryDiscipline,
+        SpawnSafeWorkers,
+        ExceptionPolicy,
+        Determinism,
+        StreamingCarry,
+    ):
+        register_rule(rule_cls(), replace=True)
+
+
+_register_builtins()
