@@ -20,9 +20,10 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src", "reprolint": "tools/reprolint"},
     packages=find_packages("src") + ["reprolint"],
-    package_data={"repro": ["py.typed"]},
+    package_data={"repro": ["py.typed"], "repro.kernels": ["*.c"]},
     install_requires=["numpy"],
     extras_require={
+        "compiled": ["numba"],
         "lint": ["mypy>=1.8"],
         "test": ["pytest", "hypothesis"],
     },

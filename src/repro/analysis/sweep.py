@@ -358,19 +358,28 @@ def stream_sweep(
     axes: dict[str, list],
     lut: LifetimeLUT | None = None,
     engine: str = "auto",
+    parallel: int | None = None,
 ) -> SweepResult:
     """Out-of-core :func:`sweep`: the whole grid in one pass over a stream.
 
-    ``stream`` is a :class:`~repro.trace.stream.TraceStream`; every
-    grid point's carried state (one cursor per breakeven group)
-    advances chunk by chunk through a shared
-    :class:`~repro.core.plan.StreamingPlan`, so peak memory is bounded
-    by the chunk size plus per-point state — never the trace length —
-    and every result is bit-identical to :func:`sweep` on the
-    materialized trace (the streaming fuzz suite holds the two
-    together). Engines join via the streaming capabilities documented
-    on :class:`~repro.core.engine.Engine`; ``parallel`` fan-out does
-    not apply (the single shared pass *is* the batching lever).
+    ``stream`` is a :class:`~repro.trace.stream.TraceStream` — or a
+    zero-argument callable producing one, which is what ``parallel=N``
+    wants: each worker re-opens its own stream. Every grid point's
+    carried state (one cursor per breakeven group) advances chunk by
+    chunk through a shared :class:`~repro.core.plan.StreamingPlan`, so
+    peak memory is bounded by the chunk size plus per-point state —
+    never the trace length — and every result is bit-identical to
+    :func:`sweep` on the materialized trace (the streaming fuzz suite
+    holds the two together). Engines join via the streaming
+    capabilities documented on :class:`~repro.core.engine.Engine`.
+
+    ``parallel=N`` shards the single pass across ``N`` worker
+    processes by set/bank partition (see
+    :func:`repro.core.streamsim.stream_selected`); results stay
+    bit-identical to the serial pass. When the pass cannot be sharded
+    (engine without shard support, or a stream that neither pickles
+    nor came from a factory) a :class:`~repro.errors.ReproWarning` is
+    emitted and the serial single pass runs instead.
     """
     from repro.core.streamsim import stream_selected
 
@@ -383,6 +392,7 @@ def stream_sweep(
         group_ids=_breakeven_group_ids(names, axes),
         lut=lut,
         engine=engine,
+        parallel=parallel,
     )
     points = tuple(
         SweepPoint(parameters=dict(zip(names, combo)), result=result)

@@ -8,7 +8,10 @@ the missing points — through
 one trace still share a single :class:`~repro.core.plan.TracePlan`,
 points differing only in ``breakeven_override`` collapse into one
 batched gap computation, and ``parallel=N`` fans chunks out over
-processes.
+processes. Chunked (streaming) traces run through
+:func:`repro.core.streamsim.stream_selected` instead, where
+``parallel=N`` shards the single shared pass by set/bank partition —
+still bit-identical to the serial and in-memory paths.
 
 Consequences (pinned by the tests):
 
@@ -84,22 +87,29 @@ class CampaignStatus:
 
 
 def _streaming_source(spec: CampaignSpec, trace_spec: TraceSpec):
-    """The chunked stream to simulate from, or ``None`` for in-memory.
+    """A factory for the chunked stream, or ``None`` for in-memory.
 
     A spec opts in per trace (``chunk_cycles > 0`` on the trace
     source); the opt-in is honored only when the spec's engine exposes
     the streaming capability for the base configuration — otherwise the
     runner quietly falls back to materializing, since the stored
-    records are bit-identical either way.
+    records are bit-identical either way. The *factory* (the spec's
+    bound ``stream`` method, picklable) is returned rather than an
+    opened stream so a ``parallel=N`` sharded pass can re-open the
+    stream once per worker.
     """
     stream_factory = getattr(trace_spec, "stream", None)
     if stream_factory is None:
         return None
+    from repro.campaign.tracespec import trace_source
     from repro.core.engine import resolve_engine, supports_streaming
 
+    source = trace_source(trace_spec.kind)
+    if source.stream_build is None or not trace_spec.params.get("chunk_cycles", 0):
+        return None
     if not supports_streaming(resolve_engine(spec.engine, spec.base)):
         return None
-    return stream_factory()
+    return stream_factory
 
 
 def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
@@ -149,12 +159,17 @@ def run_campaign(
         Stored integer counters are LUT-independent; derived lifetime
         fields assume the same LUT across runs.
     parallel:
-        Worker processes for the missing points of each trace. Only
-        applies to in-memory traces: a trace that opts into chunked
-        loading (``chunk_cycles > 0``) runs all its missing points in
-        one serial pass over the stream instead — the shared pass is
-        the streaming path's batching lever, and its peak memory stays
-        bounded by the chunk size.
+        Worker processes for the missing points of each trace. For an
+        in-memory trace the missing points fan out across workers; a
+        trace that opts into chunked loading (``chunk_cycles > 0``)
+        instead shards its single shared streaming pass by set/bank
+        partition across the workers, each re-opening the stream from
+        the spec's factory — bit-identical to the serial pass, with
+        peak memory still bounded by the chunk size. When a streaming
+        pass cannot be sharded (the engine lacks shard support, or the
+        stream cannot travel to workers) a
+        :class:`~repro.errors.ReproWarning` is emitted and that
+        trace's pass runs serially.
 
     Returns
     -------
@@ -206,6 +221,7 @@ def run_campaign(
                     lut=shared_lut,
                     engine=spec.engine,
                     on_result=on_result,
+                    parallel=parallel,
                 )
             else:
                 # Materialize the trace only now — a fully covered

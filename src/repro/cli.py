@@ -165,6 +165,19 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         requires = getattr(engine, "requires", "")
         if requires:
             print(f"  {'':<12} requires {requires}")
+    from repro.kernels import dispatch
+
+    compiled = dispatch.compiled_backend()
+    print("kernel backends (compiled engine dispatch):")
+    for name, reason in dispatch.backend_status().items():
+        if reason is None:
+            marker = " (selected)" if name == (compiled or "numpy") else ""
+            print(f"  {name:<12} available{marker}")
+        else:
+            print(f"  {name:<12} unavailable: {reason}")
+    if compiled is None:
+        print("  no compiled backend loadable; the 'compiled' engine "
+              "falls back to numpy")
     return 0
 
 
@@ -257,11 +270,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # Out-of-core: the trace is generated, decoded and
             # simulated chunk by chunk in one pass; it is never
             # resident in full. Results are bit-identical to the
-            # in-memory path.
+            # in-memory path. A factory (not an opened stream) goes
+            # in so --parallel can shard the pass, each worker
+            # re-opening its own stream.
+            import functools
+
             from repro.analysis.sweep import stream_sweep
 
-            stream = generator.stream(profile, args.chunk_cycles)
-            result = stream_sweep(base, stream, axes, engine=args.engine)
+            stream = functools.partial(
+                generator.stream, profile, args.chunk_cycles
+            )
+            result = stream_sweep(
+                base, stream, axes, engine=args.engine, parallel=args.parallel
+            )
         else:
             trace = generator.generate(profile)
             result = sweep(
@@ -537,7 +558,8 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="stream the workload out-of-core in windows of this many "
         "cycles (one pass for the whole grid, peak memory bounded by "
-        "the chunk; ignores --parallel; 0 = in-memory)",
+        "the chunk; --parallel shards the pass by set/bank partition; "
+        "0 = in-memory)",
     )
     p_sweep.add_argument(
         "--save",

@@ -119,7 +119,7 @@ _builtins_loaded = False
 #: Names the lazily imported built-in modules register themselves;
 #: everything else is a plugin that worker processes must be handed
 #: explicitly (see :func:`custom_engines` / :func:`install_engines`).
-_BUILTIN_ENGINE_NAMES = frozenset({"fast", "reference", "finegrain"})
+_BUILTIN_ENGINE_NAMES = frozenset({"fast", "reference", "finegrain", "compiled"})
 
 #: The actual built-in instances, captured at their registration — a
 #: replace=True override of a built-in name is then still recognized
@@ -136,6 +136,7 @@ def _ensure_builtins() -> None:
     import repro.core.simulator  # noqa: F401  (registers "reference")
     import repro.core.fastsim  # noqa: F401  (registers "fast")
     import repro.finegrain.engine  # noqa: F401  (registers "finegrain")
+    import repro.kernels.engine  # noqa: F401  (registers "compiled")
 
 
 def register_engine(engine: Engine, replace: bool = False) -> None:

@@ -43,6 +43,7 @@ from repro.core.results import SimulationResult
 from repro.core.simulator import _effective_breakeven, _finish
 from repro.aging.lut import LifetimeLUT
 from repro.errors import SimulationError
+from repro.kernels import dispatch as kernels
 from repro.power.idleness import batch_stats_from_gaps
 from repro.trace.trace import Trace
 
@@ -62,6 +63,10 @@ class FastSimulator:
         from (and grown into) the plan's caches; when omitted a private
         plan is built per :meth:`run` call. Results are identical either
         way.
+    backend:
+        Kernel backend override (see :mod:`repro.kernels.dispatch`);
+        ``None`` uses the process default. Every backend is
+        bit-identical, so this only changes speed.
     """
 
     def __init__(
@@ -69,10 +74,12 @@ class FastSimulator:
         config: ArchitectureConfig,
         lut: LifetimeLUT | None = None,
         plan: TracePlan | None = None,
+        backend: str | None = None,
     ) -> None:
         self.config = config
         self.lut = lut
         self.plan = plan
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _epoch_boundaries(self, trace: Trace) -> np.ndarray:
@@ -96,7 +103,9 @@ class FastSimulator:
         stack simulation of :meth:`_epoch_hits_lru`. Both agree exactly
         with :class:`~repro.core.simulator.ReferenceSimulator`.
         """
-        return run_breakeven_group([self.config], trace, lut=self.lut, plan=self.plan)[0]
+        return run_breakeven_group(
+            [self.config], trace, lut=self.lut, plan=self.plan, backend=self.backend
+        )[0]
 
     @staticmethod
     def _epoch_hits(index: np.ndarray, tag: np.ndarray) -> tuple[int, int]:
@@ -132,22 +141,20 @@ class FastSimulator:
 
     @staticmethod
     def _grouped_lru(
-        keys: np.ndarray, tag: np.ndarray, ways: int
+        keys: np.ndarray, tag: np.ndarray, ways: int, backend: str | None = None
     ) -> tuple[int, np.ndarray, np.ndarray]:
-        """Lockstep LRU simulation over contiguous key-groups.
+        """LRU simulation over contiguous key-groups.
 
         ``keys`` identifies the cold-started LRU set each access falls
         into (the engine passes ``epoch * num_sets + set_index`` so one
         call covers the whole trace). Sorting by (key, arrival) makes
-        each group contiguous and in arrival order; the LRU stacks of
-        all groups then advance in lockstep, one within-group access
-        *rank* per Python iteration, with the compare/shift work
-        vectorized across every group still active at that rank. This
-        is exact because an LRU set's contents are history-independent:
-        after any prefix the set holds precisely its ``ways`` most
-        recently accessed distinct tags, so an access hits iff its tag
-        is among them and the stack update needs no per-access control
-        flow.
+        each group contiguous and in arrival order; the per-group stack
+        walk itself is :func:`repro.kernels.lru_walk` — a lockstep rank
+        walk on the numpy backend, a sequential scan on the compiled
+        ones, bit-identical either way. Exact because an LRU set's
+        contents are history-independent: after any prefix the set
+        holds precisely its ``ways`` most recently accessed distinct
+        tags.
 
         Returns ``(hits, lines_per_group, group_keys)``: total hits,
         the valid lines each group retains at the end —
@@ -167,45 +174,20 @@ class FastSimulator:
         new_group[1:] = key_sorted[1:] != key_sorted[:-1]
         starts = np.flatnonzero(new_group)
         group_keys = key_sorted[starts]
-        lengths = np.diff(np.append(starts, n))
-
-        # Surviving lines: distinct (key, tag) pairs per group, capped.
-        pair_order = np.lexsort((tag, keys))
-        pair_key = keys[pair_order]
-        pair_tag = tag[pair_order]
-        first_pair = np.empty(n, dtype=bool)
-        first_pair[0] = True
-        first_pair[1:] = (pair_key[1:] != pair_key[:-1]) | (pair_tag[1:] != pair_tag[:-1])
-        group_of_pair = np.cumsum(np.concatenate(([True], pair_key[1:] != pair_key[:-1]))) - 1
-        distinct_tags = np.bincount(group_of_pair[first_pair], minlength=starts.size)
-        lines_per_group = np.minimum(distinct_tags, ways).astype(np.int64)
-
-        # Longest groups first, so the groups active at rank r are
-        # always a leading slice of the stack matrix.
-        by_length = np.argsort(-lengths, kind="stable")
-        starts_by_length = starts[by_length]
-        lengths_by_length = lengths[by_length]
-        stacks = np.full((starts.size, ways), -1, dtype=np.int64)  # -1 = invalid
-        hits = 0
-        for rank in range(int(lengths_by_length[0])):
-            active = int(np.searchsorted(-lengths_by_length, -rank, side="left"))
-            current = tag_sorted[starts_by_length[:active] + rank]
-            live = stacks[:active]
-            matches = live == current[:, None]
-            hit_mask = matches.any(axis=1)
-            hits += int(np.count_nonzero(hit_mask))
-            # A hit rotates the stack above the matched way; a miss
-            # rotates the whole stack, evicting the LRU way.
-            depth = np.where(hit_mask, matches.argmax(axis=1), ways - 1)
-            for way in range(ways - 1, 0, -1):
-                rotate = depth >= way
-                live[rotate, way] = live[rotate, way - 1]
-            live[:, 0] = current
+        bounds = np.append(starts, n).astype(np.int64)
+        hits, lines_per_group = kernels.lru_walk(
+            tag_sorted, bounds, ways, backend=backend
+        )
         return hits, lines_per_group, group_keys
 
 
 def _functional_counts(
-    index: np.ndarray, tag: np.ndarray, starts: np.ndarray, ways: int, num_sets: int
+    index: np.ndarray,
+    tag: np.ndarray,
+    starts: np.ndarray,
+    ways: int,
+    num_sets: int,
+    backend: str | None = None,
 ) -> tuple[int, int]:
     """(hits, flush_invalidations) over all cold-started epochs.
 
@@ -234,7 +216,7 @@ def _functional_counts(
         return 0, 0
     epoch_of = np.repeat(np.arange(num_epochs), np.diff(starts))
     hits, lines_per_group, group_keys = FastSimulator._grouped_lru(
-        epoch_of * num_sets + index, tag, ways
+        epoch_of * num_sets + index, tag, ways, backend=backend
     )
     lines_per_epoch = np.zeros(num_epochs, dtype=np.int64)
     np.add.at(lines_per_epoch, group_keys // num_sets, lines_per_group)
@@ -261,6 +243,7 @@ def run_breakeven_group(
     trace: Trace,
     lut: LifetimeLUT | None = None,
     plan: TracePlan | None = None,
+    backend: str | None = None,
 ) -> list[SimulationResult]:
     """Simulate configs that differ only in ``breakeven_override``.
 
@@ -289,16 +272,18 @@ def run_breakeven_group(
             geometry.ways,
             plan.schedule_key(base),
         ),
-        lambda: _functional_counts(index, tag, starts, geometry.ways, geometry.num_sets),
+        lambda: _functional_counts(
+            index, tag, starts, geometry.ways, geometry.num_sets, backend=backend
+        ),
     )
     # Per-bank idleness over the whole run (sleep is oblivious to
     # mapping changes; only the physical access stream matters). The
     # breakeven-independent gap structure is cached per routing, so
     # even *separate* groups sharing a routing (e.g. a power_managed
     # or technology axis) pay for the sort-and-gap pass once.
-    gaps = plan.idle_gaps(base)
+    gaps = plan.idle_gaps(base, backend=backend)
     breakevens = [_effective_breakeven(config, trace.horizon) for config in configs]
-    stats_batch = batch_stats_from_gaps(gaps, breakevens)
+    stats_batch = batch_stats_from_gaps(gaps, breakevens, backend=backend)
 
     misses = len(trace) - hits
     updates_applied = len(boundaries)
@@ -334,16 +319,26 @@ class FastEngine(Engine):
     description = "vectorized numpy engine, bit-identical to the reference"
     priority = 10
 
+    #: The fast engine always runs the pure-numpy kernels — it is the
+    #: stable differential anchor the compiled engine is pinned
+    #: against (see repro.kernels.engine.CompiledEngine).
+    backend = "numpy"
+
+    #: Streaming passes of this engine can be sharded across worker
+    #: processes by set/bank partition (see
+    #: repro.core.streamsim.stream_selected).
+    supports_stream_shards = True
+
     def supports(self, config) -> bool:
         return isinstance(config, ArchitectureConfig)
 
     def run(self, config, trace, lut=None, plan=None):
-        return FastSimulator(config, lut, plan=plan).run(trace)
+        return FastSimulator(config, lut, plan=plan, backend=self.backend).run(trace)
 
     @staticmethod
     def run_group(configs, trace, lut=None, plan=None):
         """Batched evaluation of a breakeven-only config group."""
-        return run_breakeven_group(configs, trace, lut=lut, plan=plan)
+        return run_breakeven_group(configs, trace, lut=lut, plan=plan, backend="numpy")
 
     # -- streaming capabilities (see repro.core.streamsim) -------------
     @staticmethod
@@ -351,21 +346,21 @@ class FastEngine(Engine):
         """Out-of-core simulation from a chunked trace stream."""
         from repro.core.streamsim import run_streaming
 
-        return run_streaming(config, stream, lut=lut, plan=plan)
+        return run_streaming(config, stream, lut=lut, plan=plan, backend="numpy")
 
     @staticmethod
     def run_streaming_group(configs, stream, lut=None, plan=None):
         """One streamed pass for a whole breakeven-only group."""
         from repro.core.streamsim import run_streaming_group
 
-        return run_streaming_group(configs, stream, lut=lut, plan=plan)
+        return run_streaming_group(configs, stream, lut=lut, plan=plan, backend="numpy")
 
     @staticmethod
-    def open_stream_cursor(configs, plan):
+    def open_stream_cursor(configs, plan, shard=None):
         """Carried-state cursor for single-pass multi-group evaluation."""
         from repro.core.streamsim import StreamCursor
 
-        return StreamCursor(configs, plan)
+        return StreamCursor(configs, plan, backend="numpy", shard=shard)
 
 
 register_engine(FastEngine())

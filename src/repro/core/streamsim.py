@@ -39,11 +39,29 @@ dispatching front-end mirroring
 :func:`stream_selected` (single-pass evaluation of many grid points,
 used by :func:`~repro.analysis.sweep.stream_sweep` and the campaign
 runner).
+
+**Sharded parallel streaming.** ``stream_selected(parallel=N)`` splits
+one pass over the stream across ``N`` worker processes: worker ``w``
+tracks hits for the cache sets with ``set_index % N == w`` and idle
+gaps for the physical banks with ``bank % N == w``. Both partitions
+are exact — per-set cache state and per-bank gap state never interact
+across partition members — so elementwise
+:meth:`~repro.power.idleness.BankIdleStats.merge` plus summed hit
+counters reconstruct the serial pass **bit-identically** (the fuzz
+suite pins it). Every worker re-opens the stream (the
+:class:`~repro.trace.stream.TraceStream` contract makes ``chunks()``
+repeatable) and advances its own policy/epoch cursors; when the stream
+cannot travel to workers or an engine lacks the sharding capability,
+the pass falls back to serial with a
+:class:`~repro.errors.ReproWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -53,8 +71,9 @@ from repro.core.engine import resolve_engine, validate_engine
 from repro.core.plan import StreamingPlan, TracePlan
 from repro.core.results import SimulationResult
 from repro.core.simulator import assemble_result
-from repro.errors import SimulationError
-from repro.power.idleness import StreamingGapAccumulator
+from repro.errors import ConfigurationError, ReproWarning, SimulationError
+from repro.kernels import dispatch as kernels
+from repro.power.idleness import BankIdleStats, StreamingGapAccumulator
 from repro.trace.stream import TraceStream
 
 
@@ -66,11 +85,25 @@ class _DirectMappedTracker:
     engine extends across chunk boundaries: the first access of a set
     within a chunk compares against the carried tag, later ones against
     their in-chunk predecessor.
+
+    ``shard`` is an optional ``(index, count)`` pair restricting the
+    tracker to the sets with ``set % count == index`` — the set
+    partition of a sharded parallel pass. Per-set cache state never
+    crosses sets, so the owned sets' hit/flush counts are exactly the
+    serial tracker's contribution from those sets.
     """
 
-    def __init__(self, num_sets: int, ways: int) -> None:
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        backend: str | None = None,
+        shard: tuple[int, int] | None = None,
+    ) -> None:
         self.tags = np.zeros(num_sets, dtype=np.int64)
         self.valid = np.zeros(num_sets, dtype=bool)
+        self.backend = backend
+        self.shard = shard
         self.hits = 0
         self.flush_invalidations = 0
         self._chunk_id = -1
@@ -114,29 +147,50 @@ class _DirectMappedTracker:
         self._chunk_id = plan.chunk_id
         geometry = config.geometry
         index, tag = plan.decode(geometry.offset_bits, geometry.index_bits)
+        keep = None
+        if self.shard is not None:
+            worker, count = self.shard
+            keep = (index % count) == worker
         _, starts = plan.epoch_segments(config)
         for segment in range(len(starts) - 1):
             if segment > 0:
                 self.flush()
             lo, hi = int(starts[segment]), int(starts[segment + 1])
             if lo < hi:
-                self._segment(index[lo:hi], tag[lo:hi])
+                if keep is None:
+                    self._segment(index[lo:hi], tag[lo:hi])
+                else:
+                    mask = keep[lo:hi]
+                    self._segment(index[lo:hi][mask], tag[lo:hi][mask])
 
 
 class _LruTracker:
     """Carried LRU stacks of a set-associative geometry.
 
     The full ``(num_sets, ways)`` recency stacks are the carried state;
-    each chunk segment advances them with the same lockstep rank walk as
-    :meth:`~repro.core.fastsim.FastSimulator._grouped_lru`, except the
-    stacks start from the carried contents instead of cold. Exact for
-    the same reason the one-shot walk is: an LRU set's contents are a
+    each chunk segment advances them through
+    :func:`repro.kernels.lru_segment` (the carried-state sibling of the
+    one-shot walk behind
+    :meth:`~repro.core.fastsim.FastSimulator._grouped_lru`), starting
+    from the carried contents instead of cold. Exact for the same
+    reason the one-shot walk is: an LRU set's contents are a
     history-independent function of its most recent distinct tags.
+
+    ``shard`` restricts the tracker to its set partition exactly like
+    :class:`_DirectMappedTracker`.
     """
 
-    def __init__(self, num_sets: int, ways: int) -> None:
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        backend: str | None = None,
+        shard: tuple[int, int] | None = None,
+    ) -> None:
         self.ways = ways
         self.stacks = np.full((num_sets, ways), -1, dtype=np.int64)
+        self.backend = backend
+        self.shard = shard
         self.hits = 0
         self.flush_invalidations = 0
         self._chunk_id = -1
@@ -146,37 +200,12 @@ class _LruTracker:
         self.stacks[:] = -1
 
     def _segment(self, index: np.ndarray, tag: np.ndarray) -> None:
-        n = index.size
-        if n == 0:
+        if index.size == 0:
             return
-        ways = self.ways
         order = np.argsort(index, kind="stable")
-        idx_sorted = index[order]
-        tag_sorted = tag[order]
-        new_group = np.empty(n, dtype=bool)
-        new_group[0] = True
-        new_group[1:] = idx_sorted[1:] != idx_sorted[:-1]
-        starts = np.flatnonzero(new_group)
-        group_sets = idx_sorted[starts]
-        lengths = np.diff(np.append(starts, n))
-        by_length = np.argsort(-lengths, kind="stable")
-        sets_bl = group_sets[by_length]
-        starts_bl = starts[by_length]
-        lengths_bl = lengths[by_length]
-        for rank in range(int(lengths_bl[0])):
-            active = int(np.searchsorted(-lengths_bl, -rank, side="left"))
-            current = tag_sorted[starts_bl[:active] + rank]
-            rows = sets_bl[:active]
-            live = self.stacks[rows]
-            matches = live == current[:, None]
-            hit_mask = matches.any(axis=1)
-            self.hits += int(np.count_nonzero(hit_mask))
-            depth = np.where(hit_mask, matches.argmax(axis=1), ways - 1)
-            for way in range(ways - 1, 0, -1):
-                rotate = depth >= way
-                live[rotate, way] = live[rotate, way - 1]
-            live[:, 0] = current
-            self.stacks[rows] = live
+        self.hits += kernels.lru_segment(
+            index[order], tag[order], self.stacks, backend=self.backend
+        )
 
     def process_chunk(self, plan: StreamingPlan, config) -> None:
         """Advance through the current chunk (idempotent per chunk)."""
@@ -185,22 +214,37 @@ class _LruTracker:
         self._chunk_id = plan.chunk_id
         geometry = config.geometry
         index, tag = plan.decode(geometry.offset_bits, geometry.index_bits)
+        keep = None
+        if self.shard is not None:
+            worker, count = self.shard
+            keep = (index % count) == worker
         _, starts = plan.epoch_segments(config)
         for segment in range(len(starts) - 1):
             if segment > 0:
                 self.flush()
             lo, hi = int(starts[segment]), int(starts[segment + 1])
             if lo < hi:
-                self._segment(index[lo:hi], tag[lo:hi])
+                if keep is None:
+                    self._segment(index[lo:hi], tag[lo:hi])
+                else:
+                    mask = keep[lo:hi]
+                    self._segment(index[lo:hi][mask], tag[lo:hi][mask])
 
 
-def _hit_tracker(plan: StreamingPlan, config):
+def _hit_tracker(
+    plan: StreamingPlan,
+    config,
+    backend: str | None = None,
+    shard: tuple[int, int] | None = None,
+):
     """Shared hit/flush tracker for the config's functional identity.
 
     Keyed exactly like the one-shot plan's ``hits`` section — bit
-    split × ways × schedule — so configurations differing only in
-    banking, policy or power management share one cache-content walk
-    per pass.
+    split × ways × schedule (plus the shard, if any) — so
+    configurations differing only in banking, policy or power
+    management share one cache-content walk per pass. The kernel
+    backend is not part of the key: every backend is bit-identical, so
+    whichever cursor creates the tracker fixes the backend it runs on.
     """
     geometry = config.geometry
     key = (
@@ -209,9 +253,12 @@ def _hit_tracker(plan: StreamingPlan, config):
         geometry.index_bits,
         geometry.ways,
         TracePlan.schedule_key(config),
+        shard,
     )
     cls = _DirectMappedTracker if geometry.ways == 1 else _LruTracker
-    return plan.persistent(key, lambda: cls(geometry.num_sets, geometry.ways))
+    return plan.persistent(
+        key, lambda: cls(geometry.num_sets, geometry.ways, backend, shard)
+    )
 
 
 class StreamCursor:
@@ -224,9 +271,22 @@ class StreamCursor:
     every breakeven of the group from the same carried gap state.
     Memory is O(num_sets × ways + num_banks × breakevens + chunk) —
     independent of stream length.
+
+    ``backend`` selects the kernel backend for the tracker and gap
+    walks (bit-identical across backends). ``shard`` is the
+    ``(index, count)`` pair of a sharded parallel pass: the cursor then
+    tracks hits only for its set partition and gaps only for its bank
+    partition, and must be finalized with :meth:`finalize_partial` so
+    the parent can merge the shard set back into full results.
     """
 
-    def __init__(self, configs, plan: StreamingPlan) -> None:
+    def __init__(
+        self,
+        configs,
+        plan: StreamingPlan,
+        backend: str | None = None,
+        shard: tuple[int, int] | None = None,
+    ) -> None:
         if not configs:
             raise SimulationError("a stream cursor needs at least one config")
         from repro.core.fastsim import validate_breakeven_group
@@ -236,6 +296,16 @@ class StreamCursor:
         self.base = configs[0]
         self.policy = self.base.make_policy()
         self.num_banks = self.base.num_banks
+        self.backend = backend
+        self.shard = shard
+        self._owned_banks = None
+        owned = None
+        if shard is not None:
+            worker, count = shard
+            if count < 1 or not 0 <= worker < count:
+                raise SimulationError("shard must be (index, count) with 0 <= index < count")
+            self._owned_banks = (np.arange(self.num_banks) % count) == worker
+            owned = self._owned_banks
         # An unmanaged cache's effective breakeven is horizon + 1 — not
         # known until the stream ends — but its accounting is simply
         # "no gap ever converts": the accumulator's None (infinite)
@@ -244,8 +314,10 @@ class StreamCursor:
             config.breakeven() if config.power_managed else None
             for config in self.configs
         ]
-        self.gaps = StreamingGapAccumulator(self.num_banks, breakevens)
-        self.tracker = _hit_tracker(plan, self.base)
+        self.gaps = StreamingGapAccumulator(
+            self.num_banks, breakevens, backend=backend, owned_banks=owned
+        )
+        self.tracker = _hit_tracker(plan, self.base, backend=backend, shard=shard)
         self.updates_applied = 0
         self.accesses = 0
 
@@ -259,8 +331,12 @@ class StreamCursor:
         self.tracker.process_chunk(plan, self.base)
         geometry = self.base.geometry
         if self.num_banks == 1:
-            sorted_cycles = chunk.cycles
-            splits = np.array([0, n], dtype=np.int64)
+            if self._owned_banks is None or self._owned_banks[0]:
+                sorted_cycles = chunk.cycles
+                splits = np.array([0, n], dtype=np.int64)
+            else:
+                sorted_cycles = np.empty(0, dtype=np.int64)
+                splits = np.zeros(2, dtype=np.int64)
         else:
             logical = plan.logical_banks(
                 geometry.offset_bits, geometry.index_bits, self.num_banks
@@ -273,8 +349,16 @@ class StreamCursor:
                 if lo == hi:
                     continue
                 physical[lo:hi] = self.policy.mapping()[logical[lo:hi]]
+            cycles = chunk.cycles
+            if self._owned_banks is not None:
+                # The policy advanced over the full chunk (routing is
+                # schedule-driven and identical in every shard); only
+                # the owned banks' accesses feed the gap walk.
+                mine = self._owned_banks[physical]
+                physical = physical[mine]
+                cycles = cycles[mine]
             order = np.argsort(physical, kind="stable")
-            sorted_cycles = chunk.cycles[order]
+            sorted_cycles = cycles[order]
             splits = np.searchsorted(
                 physical[order], np.arange(self.num_banks + 1)
             ).astype(np.int64)
@@ -286,6 +370,10 @@ class StreamCursor:
         self, horizon: int, trace_name: str, lut: LifetimeLUT | None
     ) -> list[SimulationResult]:
         """Close the window at ``horizon``; one result per group config."""
+        if self.shard is not None:
+            raise SimulationError(
+                "a sharded cursor holds partial counters; use finalize_partial"
+            )
         stats_batch = self.gaps.finalize(horizon)
         hits = self.tracker.hits
         misses = self.accesses - hits
@@ -309,6 +397,93 @@ class StreamCursor:
             )
         return results
 
+    def finalize_partial(self, horizon: int) -> "StreamShardPartial":
+        """Close the window and return this shard's raw counters.
+
+        The picklable half of a sharded pass: hits and flush
+        invalidations cover only the owned sets, the per-bank stats
+        only the owned banks (non-owned rows are all-zero with
+        ``total_cycles == 0``), while ``accesses`` and
+        ``updates_applied`` cover the full stream — every shard sees
+        the whole schedule, so the parent asserts they agree and sums
+        only the partitioned counters.
+        """
+        return StreamShardPartial(
+            accesses=self.accesses,
+            hits=self.tracker.hits,
+            flush_invalidations=self.tracker.flush_invalidations,
+            updates_applied=self.updates_applied,
+            stats_batch=self.gaps.finalize(horizon),
+        )
+
+
+@dataclass(frozen=True)
+class StreamShardPartial:
+    """One shard's contribution to a streamed breakeven group."""
+
+    accesses: int
+    hits: int
+    flush_invalidations: int
+    updates_applied: int
+    stats_batch: list[list[BankIdleStats]]
+
+
+def merge_shard_partials(
+    configs,
+    partials: list[StreamShardPartial],
+    horizon: int,
+    trace_name: str,
+    lut: LifetimeLUT | None,
+) -> list[SimulationResult]:
+    """Recombine a full shard set into the serial pass's results.
+
+    Hits and flush invalidations sum across the disjoint set
+    partitions; per-bank stats merge elementwise across the disjoint
+    bank partitions (exactly one shard owns each bank, so summed
+    counters — including ``total_cycles`` — reproduce the serial
+    accumulator's). ``accesses``/``updates_applied`` must agree across
+    shards: every worker replays the identical schedule.
+    """
+    if not partials:
+        raise SimulationError("cannot merge an empty shard set")
+    first = partials[0]
+    for other in partials[1:]:
+        if (
+            other.accesses != first.accesses
+            or other.updates_applied != first.updates_applied
+        ):
+            raise SimulationError(
+                "stream shards disagree on the access count or update "
+                "schedule; the stream is not replaying identically"
+            )
+    hits = sum(partial.hits for partial in partials)
+    flush_invalidations = sum(partial.flush_invalidations for partial in partials)
+    misses = first.accesses - hits
+    results = []
+    for row, config in enumerate(configs):
+        merged = first.stats_batch[row]
+        for other in partials[1:]:
+            merged = [
+                mine.merge(theirs)
+                for mine, theirs in zip(merged, other.stats_batch[row])
+            ]
+        cache_stats = CacheStats(
+            hits=hits, misses=misses, flushes=first.updates_applied
+        )
+        results.append(
+            assemble_result(
+                config,
+                trace_name,
+                horizon,
+                merged,
+                cache_stats,
+                first.updates_applied,
+                flush_invalidations,
+                lut,
+            )
+        )
+    return results
+
 
 def _finished_horizon(stream: TraceStream) -> int:
     horizon = stream.horizon
@@ -324,6 +499,7 @@ def run_streaming_group(
     stream: TraceStream,
     lut: LifetimeLUT | None = None,
     plan: StreamingPlan | None = None,
+    backend: str | None = None,
 ) -> list[SimulationResult]:
     """Simulate a breakeven-only config group in one pass over ``stream``.
 
@@ -336,7 +512,7 @@ def run_streaming_group(
     if not configs:
         return []
     plan = plan if plan is not None else StreamingPlan()
-    cursor = StreamCursor(configs, plan)
+    cursor = StreamCursor(configs, plan, backend=backend)
     for chunk in stream.chunks():
         plan.begin_chunk(chunk)
         cursor.process(plan)
@@ -348,9 +524,10 @@ def run_streaming(
     stream: TraceStream,
     lut: LifetimeLUT | None = None,
     plan: StreamingPlan | None = None,
+    backend: str | None = None,
 ) -> SimulationResult:
     """Simulate one configuration from a chunked stream (out-of-core)."""
-    return run_streaming_group([config], stream, lut=lut, plan=plan)[0]
+    return run_streaming_group([config], stream, lut=lut, plan=plan, backend=backend)[0]
 
 
 def simulate_stream(
@@ -379,15 +556,106 @@ def simulate_stream(
     return run(config, stream, lut=lut)
 
 
+#: Per-worker shared state for the sharded streaming pass, installed
+#: once by :func:`_init_stream_worker` so shard payloads carry only the
+#: shard coordinates and the combos.
+_worker_stream = None
+_worker_base = None
+_worker_names: list | None = None
+_worker_engine: str | None = None
+
+
+def _init_stream_worker(
+    stream,
+    base,
+    names,
+    engine: str,
+    engines: tuple = (),
+    metrics: tuple = (),
+    templates: tuple = (),
+) -> None:
+    """Pool initializer for shard workers (mirrors the sweep pool's).
+
+    ``stream`` is either a :class:`~repro.trace.stream.TraceStream` or
+    a zero-argument factory producing one; plugin engine/metric
+    registrations travel from the parent exactly as in
+    :func:`repro.analysis.sweep._init_worker`.
+    """
+    from repro.core.engine import install_engines
+    from repro.core.metrics import install_metrics, install_templates
+
+    install_templates(templates)
+    install_metrics(metrics)
+    install_engines(engines)
+    global _worker_stream, _worker_base, _worker_names, _worker_engine
+    _worker_stream = stream
+    _worker_base = base
+    _worker_names = names
+    _worker_engine = engine
+
+
+def _shard_pass(payload):
+    """Worker for the sharded streaming pass: one full pass, one shard.
+
+    Module-level (not a closure) so it pickles into pool workers. The
+    worker re-opens the stream (``chunks()`` is repeatable by
+    contract), advances every group's cursor over its set/bank
+    partition, and returns the raw partial counters — result assembly
+    happens in the parent after the merge.
+    """
+    shard_index, shard_count, group_items = payload
+    stream = _worker_stream() if callable(_worker_stream) else _worker_stream
+    plan = StreamingPlan()
+    cursors = []
+    for group_id, group_combos in group_items:
+        configs = [
+            replace(_worker_base, **dict(zip(_worker_names, combo)))
+            for combo in group_combos
+        ]
+        chosen = resolve_engine(_worker_engine, configs[0])
+        cursors.append(
+            (group_id, chosen.open_stream_cursor(configs, plan, shard=(shard_index, shard_count)))
+        )
+    for chunk in stream.chunks():
+        plan.begin_chunk(chunk)
+        for _, cursor in cursors:
+            cursor.process(plan)
+    horizon = _finished_horizon(stream)
+    return (
+        stream.name,
+        horizon,
+        [(group_id, cursor.finalize_partial(horizon)) for group_id, cursor in cursors],
+    )
+
+
+def _shardable(groups, base, names, combos, engine: str, stream) -> str | None:
+    """Why the pass cannot shard across processes (``None`` = it can)."""
+    for members in groups.values():
+        config = replace(base, **dict(zip(names, combos[members[0]])))
+        chosen = resolve_engine(engine, config)
+        if not getattr(chosen, "supports_stream_shards", False):
+            return f"engine {chosen.name!r} does not support sharded streaming"
+    if not callable(stream):
+        try:
+            pickle.dumps(stream)
+        except Exception:
+            return (
+                "the stream does not pickle and no stream factory was given; "
+                "pass a zero-argument callable producing the stream"
+            )
+    return None
+
+
 def stream_selected(
     base,
-    stream: TraceStream,
+    stream,
     names,
     combos,
     group_ids=None,
     lut: LifetimeLUT | None = None,
     engine: str = "auto",
     on_result=None,
+    parallel: int | None = None,
 ) -> list[SimulationResult]:
     """Evaluate many grid points in a **single pass** over ``stream``.
 
@@ -399,6 +667,19 @@ def stream_selected(
     once however many points the grid has and peak memory stays
     O(chunk + per-point carried state).
 
+    ``stream`` is a :class:`~repro.trace.stream.TraceStream` or a
+    zero-argument factory producing one (a factory is what lets the
+    pass parallelize when the stream itself cannot pickle).
+
+    ``parallel=N`` shards the pass across ``N`` worker processes by
+    set/bank partition — each worker runs the full pass over its own
+    re-opened stream but tracks only its partition's counters, and the
+    parent merges the shard set back into full results, bit-identical
+    to the serial pass. When sharding is impossible (an engine without
+    the capability, or a stream that cannot travel to workers) the
+    pass emits a :class:`~repro.errors.ReproWarning` and runs serially
+    instead of silently ignoring the flag.
+
     The single-pass path requires the resolved engine to expose the
     ``open_stream_cursor`` capability (the fast engine's). A group
     whose engine only exposes ``run_streaming`` gets its own pass over
@@ -409,6 +690,8 @@ def stream_selected(
     point after its group finalizes.
     """
     validate_engine(engine)
+    if parallel is not None and parallel < 1:
+        raise ConfigurationError("parallel must be a positive worker count")
     if not combos:
         return []
     if group_ids is None:
@@ -418,6 +701,30 @@ def stream_selected(
         groups.setdefault(group_id, []).append(position)
 
     shared_lut = lut if lut is not None else LifetimeLUT.default()
+
+    workers = parallel or 1
+    if workers > 1:
+        reason = _shardable(groups, base, names, combos, engine, stream)
+        if reason is None:
+            return _stream_selected_parallel(
+                base,
+                stream,
+                names,
+                combos,
+                groups,
+                shared_lut,
+                engine,
+                on_result,
+                workers,
+            )
+        warnings.warn(
+            f"parallel={parallel} requested but the streaming pass cannot "
+            f"be sharded ({reason}); running the serial single pass",
+            ReproWarning,
+            stacklevel=2,
+        )
+
+    stream = stream() if callable(stream) else stream
     plan = StreamingPlan()
     cursors: list[tuple[list[int], StreamCursor]] = []
     own_pass: list[tuple[list[int], list, object]] = []
@@ -467,4 +774,78 @@ def stream_selected(
             ]
         for position, result in zip(members, group_results):
             emit(position, result)
+    return results
+
+
+def _stream_selected_parallel(
+    base,
+    stream,
+    names,
+    combos,
+    groups: dict[int, list[int]],
+    lut: LifetimeLUT,
+    engine: str,
+    on_result,
+    workers: int,
+) -> list[SimulationResult]:
+    """Sharded fan-out of one streaming pass (see :func:`stream_selected`).
+
+    Worker ``w`` of ``workers`` runs the full pass but tracks hits
+    only for sets with ``set % workers == w`` and gaps only for banks
+    with ``bank % workers == w``; the parent merges each group's shard
+    set with :func:`merge_shard_partials` and emits results in
+    ``combos`` order. The stream (or its factory) and the grid travel
+    once per worker through the pool initializer; shard payloads carry
+    only the coordinates and combos.
+    """
+    from repro.core.engine import custom_engines
+    from repro.core.metrics import custom_metrics, custom_templates
+
+    group_items = [
+        (group_id, [combos[position] for position in members])
+        for group_id, members in groups.items()
+    ]
+    payloads = [(worker, workers, group_items) for worker in range(workers)]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_stream_worker,
+        initargs=(
+            stream,
+            base,
+            names,
+            engine,
+            custom_engines(),
+            custom_metrics(),
+            custom_templates(),
+        ),
+    ) as pool:
+        outputs = list(pool.map(_shard_pass, payloads))
+
+    identities = {(name, horizon) for name, horizon, _ in outputs}
+    if len(identities) != 1:
+        raise SimulationError(
+            "stream shards disagree on the stream identity or horizon; "
+            "the stream is not replaying identically across workers"
+        )
+    stream_name, horizon, _ = outputs[0]
+    partials_by_group: dict[int, list[StreamShardPartial]] = {
+        group_id: [] for group_id in groups
+    }
+    for _, _, items in outputs:
+        for group_id, partial in items:
+            partials_by_group[group_id].append(partial)
+
+    results: list[SimulationResult | None] = [None] * len(combos)
+    for group_id, members in groups.items():
+        configs = [
+            replace(base, **dict(zip(names, combos[position])))
+            for position in members
+        ]
+        merged = merge_shard_partials(
+            configs, partials_by_group[group_id], horizon, stream_name, lut
+        )
+        for position, result in zip(members, merged):
+            results[position] = result
+            if on_result is not None:
+                on_result(position, result)
     return results

@@ -12,6 +12,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class ReproWarning(UserWarning):
+    """Base class for warnings emitted by the ``repro`` package.
+
+    Used where a request is honored with degraded behavior rather than
+    rejected — e.g. a ``parallel=N`` streaming pass falling back to the
+    serial single pass when the stream cannot travel to workers.
+    """
+
+
 class ConfigurationError(ReproError):
     """A configuration object is internally inconsistent or out of range.
 

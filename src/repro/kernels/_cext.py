@@ -1,0 +1,259 @@
+"""C kernel backend: build ``_ckernels.c`` on demand, load via ctypes.
+
+The shared library is compiled once per source revision with the system
+C compiler (``cc``/``gcc``; no Python C-API involved, so there is no
+ABI coupling) and cached next to the package (or, when that directory
+is read-only, under the user's temp dir) keyed by a hash of the source
+and the compile command. Every step degrades gracefully: no compiler,
+a failed compile, or an unloadable artifact simply marks the backend
+unavailable and :mod:`repro.kernels.dispatch` falls back to numpy —
+the compiled path is an accelerator, never a dependency.
+
+Concurrency: compiles land in a unique temp file and are published
+with ``os.replace``, so racing processes at worst both compile and one
+atomic rename wins.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+NAME = "cext"
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_ckernels.c")
+_CFLAGS = ("-O2", "-shared", "-fPIC", "-fvisibility=hidden")
+
+#: Error codes of _ckernels.c mapped onto the numpy backend's exact
+#: SimulationError messages, so backends fail identically.
+_ERRORS = {
+    -1: "access cycles must be strictly increasing",
+    -2: "access cycles outside the observation window",
+    -3: "chunk accesses must be later than every prior access",
+}
+
+_lib: ctypes.CDLL | None = None
+_load_error: str | None = None
+
+
+def _compiler() -> str | None:
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _cache_dirs() -> list[str]:
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return [override]
+    return [
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "_cache"),
+        os.path.join(tempfile.gettempdir(), "repro-kernels"),
+    ]
+
+
+def _build() -> tuple[ctypes.CDLL | None, str | None]:
+    """Compile (if needed) and load the kernel library."""
+    compiler = _compiler()
+    if compiler is None:
+        return None, "no C compiler (cc/gcc/clang) on PATH"
+    try:
+        with open(_SOURCE, "rb") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return None, f"kernel source unreadable: {exc}"
+    key = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
+    soname = f"_ckernels_{key}.so"
+    last_error = "no writable cache directory"
+    for directory in _cache_dirs():
+        target = os.path.join(directory, soname)
+        if not os.path.exists(target):
+            try:
+                os.makedirs(directory, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(suffix=".so", dir=directory)
+                os.close(fd)
+                proc = subprocess.run(
+                    [compiler, *_CFLAGS, "-o", tmp, _SOURCE],
+                    capture_output=True,
+                    text=True,
+                )
+                if proc.returncode != 0:
+                    os.unlink(tmp)
+                    return None, f"compile failed: {proc.stderr.strip()[:200]}"
+                os.replace(tmp, target)
+            except OSError as exc:
+                last_error = f"cache dir {directory!r} unusable: {exc}"
+                continue
+        try:
+            return ctypes.CDLL(target), None
+        except OSError as exc:
+            last_error = f"built library failed to load: {exc}"
+    return None, last_error
+
+
+_i64 = ctypes.c_int64
+_p64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+
+_SIGNATURES = {
+    "repro_gap_extract": (
+        _i64,
+        [_p64, _i64, _p64, _i64, _i64, _i64, _p64, _p64, _p64, _p64, _p64],
+    ),
+    "repro_gap_threshold_batch": (
+        None,
+        [_p64, _p64, _i64, _i64, _p64, _i64, _p64, _p64],
+    ),
+    "repro_stream_gap_update": (
+        _i64,
+        [_p64, _p64, _i64, _p64, _p64, _p64, _p64, _p64, _i64, _p64, _p64],
+    ),
+    "repro_lru_walk": (_i64, [_p64, _p64, _i64, _i64, _p64, _p64]),
+    "repro_lru_segment": (_i64, [_p64, _p64, _i64, _p64, _i64]),
+}
+
+
+def _library() -> ctypes.CDLL:
+    global _lib, _load_error
+    if _lib is None and _load_error is None:
+        _lib, _load_error = _build()
+        if _lib is not None:
+            for symbol, (restype, argtypes) in _SIGNATURES.items():
+                fn = getattr(_lib, symbol)
+                fn.restype = restype
+                fn.argtypes = argtypes
+    if _lib is None:
+        raise SimulationError(f"compiled kernel backend unavailable: {_load_error}")
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled library can be (or has been) loaded."""
+    try:
+        _library()
+    except SimulationError:
+        return False
+    return True
+
+
+def unavailable_reason() -> str | None:
+    """Why the backend is unavailable (``None`` when it is available)."""
+    return None if available() else _load_error
+
+
+def _contig(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+def _raise_code(code: int) -> None:
+    raise SimulationError(_ERRORS.get(code, f"kernel error {code}"))
+
+
+# ----------------------------------------------------------------------
+# Backend contract (see repro.kernels.dispatch for semantics)
+# ----------------------------------------------------------------------
+def gap_extract(cycles, splits, start_cycle, end_cycle):
+    lib = _library()
+    cycles = _contig(cycles)
+    splits = _contig(splits)
+    num_banks = splits.size - 1
+    capacity = cycles.size + 3 * num_banks
+    gap_values = np.empty(capacity, dtype=np.int64)
+    gap_banks = np.empty(capacity, dtype=np.int64)
+    accesses = np.empty(num_banks, dtype=np.int64)
+    idle_intervals = np.empty(num_banks, dtype=np.int64)
+    idle_cycles = np.empty(num_banks, dtype=np.int64)
+    count = lib.repro_gap_extract(
+        cycles,
+        cycles.size,
+        splits,
+        num_banks,
+        start_cycle,
+        end_cycle,
+        gap_values,
+        gap_banks,
+        accesses,
+        idle_intervals,
+        idle_cycles,
+    )
+    if count < 0:
+        _raise_code(count)
+    return (
+        gap_values[:count].copy(),
+        gap_banks[:count].copy(),
+        accesses,
+        idle_intervals,
+        idle_cycles,
+    )
+
+
+def gap_threshold_batch(gap_values, gap_banks, num_banks, breakevens, useful, sleep):
+    lib = _library()
+    lib.repro_gap_threshold_batch(
+        _contig(gap_values),
+        _contig(gap_banks),
+        int(gap_values.size),
+        int(num_banks),
+        _contig(breakevens),
+        int(breakevens.size),
+        useful,
+        sleep,
+    )
+
+
+def stream_gap_update(
+    cycles,
+    splits,
+    last_event,
+    accesses,
+    idle_intervals,
+    idle_cycles,
+    breakevens,
+    useful,
+    sleep,
+):
+    lib = _library()
+    code = lib.repro_stream_gap_update(
+        _contig(cycles),
+        _contig(splits),
+        int(last_event.size),
+        last_event,
+        accesses,
+        idle_intervals,
+        idle_cycles,
+        _contig(breakevens),
+        int(breakevens.size),
+        useful,
+        sleep,
+    )
+    if code < 0:
+        _raise_code(code)
+
+
+def lru_walk(tags, starts, ways):
+    lib = _library()
+    num_groups = starts.size - 1
+    scratch = np.empty(int(ways), dtype=np.int64)
+    lines_per_group = np.zeros(num_groups, dtype=np.int64)
+    hits = lib.repro_lru_walk(
+        _contig(tags), _contig(starts), num_groups, int(ways), scratch, lines_per_group
+    )
+    return int(hits), lines_per_group
+
+
+def lru_segment(idx, tags, stacks):
+    lib = _library()
+    return int(
+        lib.repro_lru_segment(
+            _contig(idx), _contig(tags), int(idx.size), stacks, stacks.shape[1]
+        )
+    )

@@ -1,0 +1,252 @@
+/* Compiled integer-exact simulation kernels.
+ *
+ * C implementations of the hot inner loops behind
+ * ``repro.kernels.dispatch``: the idle-gap extraction and breakeven
+ * thresholding of ``repro.power.idleness``, the streaming carry-state
+ * gap pass, and the LRU walks shared by ``repro.core.fastsim`` and
+ * ``repro.core.streamsim``. Built on demand by ``repro.kernels._cext``
+ * (cc -O2 -shared) and loaded through ctypes; every function operates
+ * on int64 buffers only, so results are bit-identical to the numpy
+ * backend by construction (the differential fuzz suite enforces it).
+ *
+ * Error contract: functions that validate their input return 0 on
+ * success or a negative REPRO_ERR_* code; the ctypes wrapper maps the
+ * code onto the exact SimulationError message the numpy backend
+ * raises.
+ */
+
+#include <stdint.h>
+
+#define REPRO_OK 0
+#define REPRO_ERR_NONMONOTONIC (-1)
+#define REPRO_ERR_WINDOW (-2)
+#define REPRO_ERR_NOT_LATER (-3)
+
+#if defined(_WIN32)
+#define REPRO_EXPORT __declspec(dllexport)
+#else
+#define REPRO_EXPORT __attribute__((visibility("default")))
+#endif
+
+/* Idle-gap extraction over the bank-sorted access stream.
+ *
+ * Bank b owns cycles[splits[b]:splits[b+1]] (strictly increasing).
+ * Emits every positive idle gap (value, bank) — leading, interior,
+ * trailing, and the whole-window gap of a never-accessed bank — and
+ * folds per-bank accesses / idle_intervals / idle_cycles counters.
+ * Gap ordering is per bank (the consumers only ever reduce over the
+ * multiset, which the numpy backend produces in a different but
+ * equivalent order).
+ *
+ * Returns the number of gaps written (capacity needed: n + 3 *
+ * num_banks), or a negative error code.
+ */
+REPRO_EXPORT int64_t repro_gap_extract(
+    const int64_t *cycles, int64_t n,
+    const int64_t *splits, int64_t num_banks,
+    int64_t start_cycle, int64_t end_cycle,
+    int64_t *gap_values, int64_t *gap_banks,
+    int64_t *accesses, int64_t *idle_intervals, int64_t *idle_cycles)
+{
+    int64_t window = end_cycle - start_cycle;
+    int64_t out = 0;
+    (void)n;
+    for (int64_t b = 0; b < num_banks; ++b) {
+        int64_t lo = splits[b], hi = splits[b + 1];
+        int64_t count = hi - lo;
+        accesses[b] = count;
+        idle_intervals[b] = 0;
+        idle_cycles[b] = 0;
+        if (count == 0) {
+            if (window > 0) {
+                gap_values[out] = window;
+                gap_banks[out] = b;
+                ++out;
+                idle_intervals[b] = 1;
+                idle_cycles[b] = window;
+            }
+            continue;
+        }
+        int64_t prev = start_cycle - 1;
+        for (int64_t i = lo; i < hi; ++i) {
+            int64_t c = cycles[i];
+            if (c < start_cycle || c >= end_cycle)
+                return REPRO_ERR_WINDOW;
+            if (c <= prev && i > lo)
+                return REPRO_ERR_NONMONOTONIC;
+            int64_t gap = c - prev - 1;
+            if (gap > 0) {
+                gap_values[out] = gap;
+                gap_banks[out] = b;
+                ++out;
+                idle_intervals[b] += 1;
+                idle_cycles[b] += gap;
+            }
+            prev = c;
+        }
+        int64_t trailing = end_cycle - prev - 1;
+        if (trailing > 0) {
+            gap_values[out] = trailing;
+            gap_banks[out] = b;
+            ++out;
+            idle_intervals[b] += 1;
+            idle_cycles[b] += trailing;
+        }
+    }
+    return out;
+}
+
+/* Threshold an extracted gap multiset at each breakeven.
+ *
+ * breakevens[r] < 0 means infinite (no gap ever converts — how an
+ * unmanaged configuration is accounted). useful/sleep are (n_be,
+ * num_banks) row-major buffers the caller zeroed.
+ */
+REPRO_EXPORT void repro_gap_threshold_batch(
+    const int64_t *gap_values, const int64_t *gap_banks, int64_t n_gaps,
+    int64_t num_banks,
+    const int64_t *breakevens, int64_t n_be,
+    int64_t *useful, int64_t *sleep)
+{
+    for (int64_t r = 0; r < n_be; ++r) {
+        int64_t be = breakevens[r];
+        if (be < 0)
+            continue;
+        int64_t *u = useful + r * num_banks;
+        int64_t *s = sleep + r * num_banks;
+        for (int64_t i = 0; i < n_gaps; ++i) {
+            int64_t gap = gap_values[i];
+            if (gap > be) {
+                int64_t b = gap_banks[i];
+                u[b] += 1;
+                s[b] += gap - be;
+            }
+        }
+    }
+}
+
+/* Fold one bank-sorted chunk into streaming carry-state counters.
+ *
+ * The fused core of StreamingGapAccumulator.update(): per-bank gaps
+ * are closed against last_event (leading) and within the chunk
+ * (interior), every breakeven row is thresholded in the same pass, and
+ * last_event/accesses advance. Trailing gaps stay open — finalize()
+ * closes them. useful/sleep are (n_be, num_banks) row-major.
+ */
+REPRO_EXPORT int64_t repro_stream_gap_update(
+    const int64_t *cycles,
+    const int64_t *splits, int64_t num_banks,
+    int64_t *last_event, int64_t *accesses,
+    int64_t *idle_intervals, int64_t *idle_cycles,
+    const int64_t *breakevens, int64_t n_be,
+    int64_t *useful, int64_t *sleep)
+{
+    for (int64_t b = 0; b < num_banks; ++b) {
+        int64_t lo = splits[b], hi = splits[b + 1];
+        if (lo == hi)
+            continue;
+        int64_t prev = last_event[b];
+        for (int64_t i = lo; i < hi; ++i) {
+            int64_t c = cycles[i];
+            if (c <= prev)
+                return i == lo ? REPRO_ERR_NOT_LATER : REPRO_ERR_NONMONOTONIC;
+            int64_t gap = c - prev - 1;
+            if (gap > 0) {
+                idle_intervals[b] += 1;
+                idle_cycles[b] += gap;
+                for (int64_t r = 0; r < n_be; ++r) {
+                    int64_t be = breakevens[r];
+                    if (be >= 0 && gap > be) {
+                        useful[r * num_banks + b] += 1;
+                        sleep[r * num_banks + b] += gap - be;
+                    }
+                }
+            }
+            prev = c;
+        }
+        accesses[b] += hi - lo;
+        last_event[b] = prev;
+    }
+    return REPRO_OK;
+}
+
+/* Cold-started LRU walk over contiguous tag groups.
+ *
+ * tags is sorted by (group, arrival); group g owns
+ * tags[starts[g]:starts[g+1]]. Each group simulates an LRU stack of
+ * ``ways`` entries from cold; scratch is a caller-provided buffer of
+ * ``ways`` int64s. Writes min(distinct tags, ways) per group (the
+ * lines the set retains — each miss allocates, evicting only when
+ * full) and returns total hits.
+ */
+REPRO_EXPORT int64_t repro_lru_walk(
+    const int64_t *tags, const int64_t *starts, int64_t num_groups,
+    int64_t ways, int64_t *scratch, int64_t *lines_per_group)
+{
+    int64_t hits = 0;
+    for (int64_t g = 0; g < num_groups; ++g) {
+        int64_t valid = 0;
+        for (int64_t i = starts[g]; i < starts[g + 1]; ++i) {
+            int64_t t = tags[i];
+            int64_t d = -1;
+            for (int64_t w = 0; w < valid; ++w) {
+                if (scratch[w] == t) {
+                    d = w;
+                    break;
+                }
+            }
+            if (d >= 0) {
+                ++hits;
+                for (int64_t w = d; w > 0; --w)
+                    scratch[w] = scratch[w - 1];
+                scratch[0] = t;
+            } else {
+                int64_t limit = valid < ways ? valid : ways - 1;
+                for (int64_t w = limit; w > 0; --w)
+                    scratch[w] = scratch[w - 1];
+                scratch[0] = t;
+                if (valid < ways)
+                    ++valid;
+            }
+        }
+        lines_per_group[g] = valid;
+    }
+    return hits;
+}
+
+/* Advance carried LRU stacks through one set-sorted chunk segment.
+ *
+ * idx/tags are sorted by (set, arrival); stacks is the carried
+ * (num_sets, ways) recency matrix with -1 marking invalid ways
+ * (tags are non-negative, so -1 never aliases). A hit rotates the
+ * stack above the matched way; a miss rotates the whole stack,
+ * evicting the LRU way. Returns hits.
+ */
+REPRO_EXPORT int64_t repro_lru_segment(
+    const int64_t *idx, const int64_t *tags, int64_t n,
+    int64_t *stacks, int64_t ways)
+{
+    int64_t hits = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t *st = stacks + idx[i] * ways;
+        int64_t t = tags[i];
+        int64_t d = -1;
+        for (int64_t w = 0; w < ways; ++w) {
+            if (st[w] == t) {
+                d = w;
+                break;
+            }
+        }
+        int64_t limit;
+        if (d >= 0) {
+            ++hits;
+            limit = d;
+        } else {
+            limit = ways - 1;
+        }
+        for (int64_t w = limit; w > 0; --w)
+            st[w] = st[w - 1];
+        st[0] = t;
+    }
+    return hits;
+}

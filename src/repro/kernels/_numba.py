@@ -1,0 +1,250 @@
+"""Numba kernel backend — JIT mirrors of the C loops.
+
+Importing this module requires numba (install the ``repro[compiled]``
+extra); :mod:`repro.kernels.dispatch` probes it lazily and falls back
+to the cext/numpy backends when the import fails, so numba stays an
+optional accelerator. The jitted loops are line-for-line the same
+int64 walks as ``_ckernels.c`` — the differential fuzz suite pins all
+backends bit-identical to the numpy anchor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # gated import: dispatch probes availability
+
+from repro.errors import SimulationError
+
+NAME = "numba"
+
+_ERR_NONMONOTONIC = -1
+_ERR_WINDOW = -2
+_ERR_NOT_LATER = -3
+
+_ERRORS = {
+    _ERR_NONMONOTONIC: "access cycles must be strictly increasing",
+    _ERR_WINDOW: "access cycles outside the observation window",
+    _ERR_NOT_LATER: "chunk accesses must be later than every prior access",
+}
+
+
+def _raise_code(code: int) -> None:
+    raise SimulationError(_ERRORS.get(code, f"kernel error {code}"))
+
+
+@njit(cache=True)
+def _gap_extract(cycles, splits, start_cycle, end_cycle,
+                 gap_values, gap_banks, accesses, idle_intervals, idle_cycles):
+    num_banks = splits.size - 1
+    window = end_cycle - start_cycle
+    out = 0
+    for b in range(num_banks):
+        lo = splits[b]
+        hi = splits[b + 1]
+        count = hi - lo
+        accesses[b] = count
+        idle_intervals[b] = 0
+        idle_cycles[b] = 0
+        if count == 0:
+            if window > 0:
+                gap_values[out] = window
+                gap_banks[out] = b
+                out += 1
+                idle_intervals[b] = 1
+                idle_cycles[b] = window
+            continue
+        prev = start_cycle - 1
+        for i in range(lo, hi):
+            c = cycles[i]
+            if c < start_cycle or c >= end_cycle:
+                return _ERR_WINDOW
+            if c <= prev and i > lo:
+                return _ERR_NONMONOTONIC
+            gap = c - prev - 1
+            if gap > 0:
+                gap_values[out] = gap
+                gap_banks[out] = b
+                out += 1
+                idle_intervals[b] += 1
+                idle_cycles[b] += gap
+            prev = c
+        trailing = end_cycle - prev - 1
+        if trailing > 0:
+            gap_values[out] = trailing
+            gap_banks[out] = b
+            out += 1
+            idle_intervals[b] += 1
+            idle_cycles[b] += trailing
+    return out
+
+
+@njit(cache=True)
+def _gap_threshold_batch(gap_values, gap_banks, num_banks, breakevens, useful, sleep):
+    for r in range(breakevens.size):
+        be = breakevens[r]
+        if be < 0:
+            continue
+        for i in range(gap_values.size):
+            gap = gap_values[i]
+            if gap > be:
+                b = gap_banks[i]
+                useful[r, b] += 1
+                sleep[r, b] += gap - be
+
+
+@njit(cache=True)
+def _stream_gap_update(cycles, splits, last_event, accesses,
+                       idle_intervals, idle_cycles, breakevens, useful, sleep):
+    num_banks = last_event.size
+    for b in range(num_banks):
+        lo = splits[b]
+        hi = splits[b + 1]
+        if lo == hi:
+            continue
+        prev = last_event[b]
+        for i in range(lo, hi):
+            c = cycles[i]
+            if c <= prev:
+                return _ERR_NOT_LATER if i == lo else _ERR_NONMONOTONIC
+            gap = c - prev - 1
+            if gap > 0:
+                idle_intervals[b] += 1
+                idle_cycles[b] += gap
+                for r in range(breakevens.size):
+                    be = breakevens[r]
+                    if be >= 0 and gap > be:
+                        useful[r, b] += 1
+                        sleep[r, b] += gap - be
+            prev = c
+        accesses[b] += hi - lo
+        last_event[b] = prev
+    return 0
+
+
+@njit(cache=True)
+def _lru_walk(tags, starts, ways, scratch, lines_per_group):
+    hits = 0
+    for g in range(starts.size - 1):
+        valid = 0
+        for i in range(starts[g], starts[g + 1]):
+            t = tags[i]
+            d = -1
+            for w in range(valid):
+                if scratch[w] == t:
+                    d = w
+                    break
+            if d >= 0:
+                hits += 1
+                for w in range(d, 0, -1):
+                    scratch[w] = scratch[w - 1]
+                scratch[0] = t
+            else:
+                limit = valid if valid < ways else ways - 1
+                for w in range(limit, 0, -1):
+                    scratch[w] = scratch[w - 1]
+                scratch[0] = t
+                if valid < ways:
+                    valid += 1
+        lines_per_group[g] = valid
+    return hits
+
+
+@njit(cache=True)
+def _lru_segment(idx, tags, stacks):
+    ways = stacks.shape[1]
+    hits = 0
+    for i in range(idx.size):
+        row = idx[i]
+        t = tags[i]
+        d = -1
+        for w in range(ways):
+            if stacks[row, w] == t:
+                d = w
+                break
+        if d >= 0:
+            hits += 1
+            limit = d
+        else:
+            limit = ways - 1
+        for w in range(limit, 0, -1):
+            stacks[row, w] = stacks[row, w - 1]
+        stacks[row, 0] = t
+    return hits
+
+
+# ----------------------------------------------------------------------
+# Backend contract (see repro.kernels.dispatch for semantics)
+# ----------------------------------------------------------------------
+def gap_extract(cycles, splits, start_cycle, end_cycle):
+    cycles = np.ascontiguousarray(cycles, dtype=np.int64)
+    splits = np.ascontiguousarray(splits, dtype=np.int64)
+    num_banks = splits.size - 1
+    capacity = cycles.size + 3 * num_banks
+    gap_values = np.empty(capacity, dtype=np.int64)
+    gap_banks = np.empty(capacity, dtype=np.int64)
+    accesses = np.empty(num_banks, dtype=np.int64)
+    idle_intervals = np.empty(num_banks, dtype=np.int64)
+    idle_cycles = np.empty(num_banks, dtype=np.int64)
+    count = _gap_extract(
+        cycles, splits, start_cycle, end_cycle,
+        gap_values, gap_banks, accesses, idle_intervals, idle_cycles,
+    )
+    if count < 0:
+        _raise_code(count)
+    return (
+        gap_values[:count].copy(),
+        gap_banks[:count].copy(),
+        accesses,
+        idle_intervals,
+        idle_cycles,
+    )
+
+
+def gap_threshold_batch(gap_values, gap_banks, num_banks, breakevens, useful, sleep):
+    _gap_threshold_batch(
+        np.ascontiguousarray(gap_values, dtype=np.int64),
+        np.ascontiguousarray(gap_banks, dtype=np.int64),
+        int(num_banks),
+        np.ascontiguousarray(breakevens, dtype=np.int64),
+        useful,
+        sleep,
+    )
+
+
+def stream_gap_update(cycles, splits, last_event, accesses,
+                      idle_intervals, idle_cycles, breakevens, useful, sleep):
+    code = _stream_gap_update(
+        np.ascontiguousarray(cycles, dtype=np.int64),
+        np.ascontiguousarray(splits, dtype=np.int64),
+        last_event,
+        accesses,
+        idle_intervals,
+        idle_cycles,
+        np.ascontiguousarray(breakevens, dtype=np.int64),
+        useful,
+        sleep,
+    )
+    if code < 0:
+        _raise_code(code)
+
+
+def lru_walk(tags, starts, ways):
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    num_groups = starts.size - 1
+    scratch = np.empty(int(ways), dtype=np.int64)
+    lines_per_group = np.zeros(num_groups, dtype=np.int64)
+    hits = _lru_walk(
+        np.ascontiguousarray(tags, dtype=np.int64),
+        starts, int(ways), scratch, lines_per_group,
+    )
+    return int(hits), lines_per_group
+
+
+def lru_segment(idx, tags, stacks):
+    return int(
+        _lru_segment(
+            np.ascontiguousarray(idx, dtype=np.int64),
+            np.ascontiguousarray(tags, dtype=np.int64),
+            stacks,
+        )
+    )

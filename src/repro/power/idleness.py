@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.kernels import dispatch as kernels
 
 
 @dataclass
@@ -262,6 +263,7 @@ def idle_gaps_from_sorted_accesses(
     splits: np.ndarray,
     start_cycle: int,
     end_cycle: int,
+    backend: str | None = None,
 ) -> IdleGapStructure:
     """Extract every bank's idle gaps from the bank-sorted stream.
 
@@ -276,6 +278,9 @@ def idle_gaps_from_sorted_accesses(
         ``splits[-1] == sorted_cycles.size``.
     start_cycle, end_cycle:
         Observation window ``[start_cycle, end_cycle)``.
+    backend:
+        Kernel backend override (see :mod:`repro.kernels.dispatch`);
+        every backend produces a bit-identical structure.
     """
     cycles = np.asarray(sorted_cycles, dtype=np.int64)
     splits = np.asarray(splits, dtype=np.int64)
@@ -289,37 +294,9 @@ def idle_gaps_from_sorted_accesses(
     if np.any(accesses < 0) or int(splits[0]) != 0 or int(splits[-1]) != cycles.size:
         raise SimulationError("splits do not partition the access stream")
 
-    occupied_ids = np.flatnonzero(accesses > 0)
-    empty_ids = np.flatnonzero(accesses == 0)
-    if cycles.size:
-        if cycles.min() < start_cycle or cycles.max() >= end_cycle:
-            raise SimulationError("access cycles outside the observation window")
-        bank_of = np.repeat(np.arange(num_banks), accesses)
-        same_bank = bank_of[1:] == bank_of[:-1]
-        deltas = np.diff(cycles)
-        if np.any(deltas[same_bank] <= 0):
-            raise SimulationError("access cycles must be strictly increasing")
-        interior = deltas[same_bank] - 1
-        interior_banks = bank_of[1:][same_bank]
-        leading = cycles[splits[occupied_ids]] - start_cycle
-        trailing = end_cycle - cycles[splits[occupied_ids + 1] - 1] - 1
-    else:
-        interior = np.empty(0, dtype=np.int64)
-        interior_banks = np.empty(0, dtype=np.int64)
-        leading = trailing = np.empty(0, dtype=np.int64)
-
-    # A never-accessed bank idles the whole window in one gap.
-    gap_values = np.concatenate(
-        [interior, leading, trailing, np.full(empty_ids.size, window, dtype=np.int64)]
+    gap_values, gap_banks, accesses, idle_intervals, idle_cycles = kernels.gap_extract(
+        cycles, splits, start_cycle, end_cycle, backend=backend
     )
-    gap_banks = np.concatenate([interior_banks, occupied_ids, occupied_ids, empty_ids])
-    positive = gap_values > 0
-    gap_values = gap_values[positive]
-    gap_banks = gap_banks[positive]
-
-    idle_intervals = np.bincount(gap_banks, minlength=num_banks)
-    idle_cycles = np.zeros(num_banks, dtype=np.int64)
-    np.add.at(idle_cycles, gap_banks, gap_values)
     return IdleGapStructure(
         num_banks=num_banks,
         window=window,
@@ -331,34 +308,50 @@ def idle_gaps_from_sorted_accesses(
     )
 
 
-def batch_stats_from_gaps(gaps: IdleGapStructure, breakevens) -> list[list[BankIdleStats]]:
+def batch_stats_from_gaps(
+    gaps: IdleGapStructure, breakevens, backend: str | None = None
+) -> list[list[BankIdleStats]]:
     """Threshold a gap structure at each breakeven: one stats list per
-    breakeven, one :class:`BankIdleStats` per bank. Integer-exact."""
+    breakeven, one :class:`BankIdleStats` per bank. Integer-exact.
+
+    A ``None`` breakeven means *infinite* (no gap ever converts to
+    sleep), matching :class:`StreamingGapAccumulator`; the kernels
+    encode it as ``-1``.
+    """
     num_banks = gaps.num_banks
-    batches: list[list[BankIdleStats]] = []
-    for breakeven in breakevens:
-        if breakeven < 1:
+    breakeven_list = [
+        -1 if breakeven is None else int(breakeven) for breakeven in breakevens
+    ]
+    for breakeven in breakeven_list:
+        if breakeven != -1 and breakeven < 1:
             raise SimulationError("breakeven must be >= 1 cycle")
-        useful = gaps.gap_values > breakeven
-        useful_banks = gaps.gap_banks[useful]
-        useful_intervals = np.bincount(useful_banks, minlength=num_banks)
-        sleep_cycles = np.zeros(num_banks, dtype=np.int64)
-        np.add.at(sleep_cycles, useful_banks, gaps.gap_values[useful] - breakeven)
-        batches.append(
-            [
-                BankIdleStats(
-                    accesses=int(gaps.accesses[bank]),
-                    idle_intervals=int(gaps.idle_intervals[bank]),
-                    useful_intervals=int(useful_intervals[bank]),
-                    idle_cycles=int(gaps.idle_cycles[bank]),
-                    sleep_cycles=int(sleep_cycles[bank]),
-                    transitions=int(useful_intervals[bank]),
-                    total_cycles=gaps.window,
-                )
-                for bank in range(num_banks)
-            ]
-        )
-    return batches
+    breakeven_array = np.asarray(breakeven_list, dtype=np.int64)
+    useful = np.zeros((breakeven_array.size, num_banks), dtype=np.int64)
+    sleep = np.zeros((breakeven_array.size, num_banks), dtype=np.int64)
+    kernels.gap_threshold_batch(
+        gaps.gap_values,
+        gaps.gap_banks,
+        num_banks,
+        breakeven_array,
+        useful,
+        sleep,
+        backend=backend,
+    )
+    return [
+        [
+            BankIdleStats(
+                accesses=int(gaps.accesses[bank]),
+                idle_intervals=int(gaps.idle_intervals[bank]),
+                useful_intervals=int(useful[row, bank]),
+                idle_cycles=int(gaps.idle_cycles[bank]),
+                sleep_cycles=int(sleep[row, bank]),
+                transitions=int(useful[row, bank]),
+                total_cycles=gaps.window,
+            )
+            for bank in range(num_banks)
+        ]
+        for row in range(breakeven_array.size)
+    ]
 
 
 class StreamingGapAccumulator:
@@ -390,9 +383,27 @@ class StreamingGapAccumulator:
         accounted without knowing the horizon up front).
     start_cycle:
         First cycle of the observation window.
+    backend:
+        Kernel backend override (see :mod:`repro.kernels.dispatch`).
+    owned_banks:
+        Optional boolean mask of the banks this accumulator accounts
+        for. Sharded parallel streaming gives each worker a disjoint
+        mask; a non-owned bank must never be fed an access, its
+        trailing gap stays unclosed, and its finalized stats are
+        all-zero with ``total_cycles == 0`` — so elementwise
+        :meth:`BankIdleStats.merge` across a full shard set
+        reconstructs the serial pass exactly. ``None`` owns every
+        bank.
     """
 
-    def __init__(self, num_banks: int, breakevens, start_cycle: int = 0) -> None:
+    def __init__(
+        self,
+        num_banks: int,
+        breakevens,
+        start_cycle: int = 0,
+        backend: str | None = None,
+        owned_banks: np.ndarray | None = None,
+    ) -> None:
         if num_banks < 1:
             raise SimulationError("need at least one bank")
         self.breakevens = list(breakevens)
@@ -401,6 +412,17 @@ class StreamingGapAccumulator:
                 raise SimulationError("breakeven must be >= 1 cycle")
         self.num_banks = num_banks
         self.start_cycle = start_cycle
+        self.backend = backend
+        if owned_banks is None:
+            self._owned = np.ones(num_banks, dtype=bool)
+        else:
+            self._owned = np.asarray(owned_banks, dtype=bool)
+            if self._owned.shape != (num_banks,):
+                raise SimulationError("owned_banks mask must have one entry per bank")
+        # -1 encodes an infinite (None) breakeven for the kernels.
+        self._breakeven_array = np.asarray(
+            [-1 if b is None else int(b) for b in self.breakevens], dtype=np.int64
+        )
         self._last_event = np.full(num_banks, start_cycle - 1, dtype=np.int64)
         self._accesses = np.zeros(num_banks, dtype=np.int64)
         self._idle_intervals = np.zeros(num_banks, dtype=np.int64)
@@ -443,27 +465,20 @@ class StreamingGapAccumulator:
             raise SimulationError("splits do not partition the access stream")
         if cycles.size == 0:
             return
-        occupied = np.flatnonzero(counts > 0)
-        firsts = cycles[splits[occupied]]
-        lasts = cycles[splits[occupied + 1] - 1]
-        if np.any(firsts <= self._last_event[occupied]):
-            raise SimulationError(
-                "chunk accesses must be later than every prior access"
-            )
-        bank_of = np.repeat(np.arange(self.num_banks), counts)
-        same_bank = bank_of[1:] == bank_of[:-1]
-        deltas = np.diff(cycles)
-        if np.any(deltas[same_bank] <= 0):
-            raise SimulationError("access cycles must be strictly increasing")
-        interior = deltas[same_bank] - 1
-        interior_banks = bank_of[1:][same_bank]
-        leading = firsts - self._last_event[occupied] - 1
-        gap_values = np.concatenate([interior, leading])
-        gap_banks = np.concatenate([interior_banks, occupied])
-        positive = gap_values > 0
-        self._account_gaps(gap_values[positive], gap_banks[positive])
-        self._accesses[occupied] += counts[occupied]
-        self._last_event[occupied] = lasts
+        if np.any(counts[~self._owned] > 0):
+            raise SimulationError("accesses routed to a bank this shard does not own")
+        kernels.stream_gap_update(
+            cycles,
+            splits,
+            self._last_event,
+            self._accesses,
+            self._idle_intervals,
+            self._idle_cycles,
+            self._breakeven_array,
+            self._useful,
+            self._sleep,
+            backend=self.backend,
+        )
 
     def finalize(self, end_cycle: int) -> list[list[BankIdleStats]]:
         """Close every open gap to ``end_cycle`` and return the stats.
@@ -480,7 +495,7 @@ class StreamingGapAccumulator:
         if np.any(self._last_event >= end_cycle):
             raise SimulationError("access cycles outside the observation window")
         trailing = end_cycle - self._last_event - 1
-        banks = np.flatnonzero(trailing > 0)
+        banks = np.flatnonzero((trailing > 0) & self._owned)
         self._account_gaps(trailing[banks], banks)
         self._finalized = True
         return [
@@ -492,7 +507,7 @@ class StreamingGapAccumulator:
                     idle_cycles=int(self._idle_cycles[bank]),
                     sleep_cycles=int(self._sleep[row, bank]),
                     transitions=int(self._useful[row, bank]),
-                    total_cycles=window,
+                    total_cycles=window if self._owned[bank] else 0,
                 )
                 for bank in range(self.num_banks)
             ]
@@ -506,6 +521,7 @@ def batch_stats_from_sorted_accesses(
     breakevens,
     start_cycle: int,
     end_cycle: int,
+    backend: str | None = None,
 ) -> list[list[BankIdleStats]]:
     """All banks' idleness stats in one pass, for a vector of breakevens.
 
@@ -516,5 +532,7 @@ def batch_stats_from_sorted_accesses(
     is exactly equal to calling :func:`stats_from_access_cycles` per
     bank slice (tests enforce it).
     """
-    gaps = idle_gaps_from_sorted_accesses(sorted_cycles, splits, start_cycle, end_cycle)
-    return batch_stats_from_gaps(gaps, breakevens)
+    gaps = idle_gaps_from_sorted_accesses(
+        sorted_cycles, splits, start_cycle, end_cycle, backend=backend
+    )
+    return batch_stats_from_gaps(gaps, breakevens, backend=backend)

@@ -96,8 +96,9 @@ def scratch_registry():
 
 class TestRegistryViews:
     def test_builtins_registered(self):
-        assert engine_names() == ("auto", "fast", "finegrain", "reference")
+        assert engine_names() == ("auto", "compiled", "fast", "finegrain", "reference")
         assert [e.name for e in registered_engines()] == [
+            "compiled",
             "fast",
             "finegrain",
             "reference",
@@ -120,6 +121,7 @@ class TestRegistryViews:
     def test_result_family(self):
         assert result_family("auto") == "banked"
         assert result_family("fast") == "banked"
+        assert result_family("compiled") == "banked"
         assert result_family("reference") == "banked"
         assert result_family("finegrain") == "finegrain"
 
@@ -160,7 +162,7 @@ class TestRegistryMisuse:
         with pytest.raises(UnknownEngineError) as excinfo:
             simulate(config, trace, engine="warp")
         message = str(excinfo.value)
-        for name in ("auto", "fast", "finegrain", "reference"):
+        for name in ("auto", "compiled", "fast", "finegrain", "reference"):
             assert name in message
         # Back-compat: it is still a ValueError.
         assert isinstance(excinfo.value, ValueError)
@@ -220,8 +222,14 @@ class TestRegistryMisuse:
 
 
 class TestDispatch:
-    def test_auto_resolves_to_fast(self, config):
-        assert resolve_engine("auto", config).name == "fast"
+    def test_auto_resolves_to_best_banked_engine(self, config):
+        # With a compiled kernel backend loadable the compiled engine
+        # outranks fast (priority 20 vs 10); numpy-only environments
+        # keep resolving to fast (compiled drops to priority 5).
+        from repro.kernels.engine import BACKEND
+
+        expected = "compiled" if BACKEND else "fast"
+        assert resolve_engine("auto", config).name == expected
 
     def test_auto_never_picks_non_eligible_engines(self, config):
         # finegrain supports this config but must not be auto-picked:
@@ -451,7 +459,7 @@ class TestFineGrainCampaigns:
             CampaignSpec.load(spec_path)
         message = str(excinfo.value)
         assert "warp9" in message
-        for name in ("fast", "finegrain", "reference"):
+        for name in ("compiled", "fast", "finegrain", "reference"):
             assert name in message
 
     def test_unknown_engine_in_spec_reported_cleanly_by_cli(self, tmp_path, capsys):
@@ -469,7 +477,7 @@ class TestCLI:
     def test_engines_command_lists_registry(self, capsys):
         assert main(["engines"]) == 0
         out = capsys.readouterr().out
-        for name in ("auto", "fast", "finegrain", "reference"):
+        for name in ("auto", "compiled", "fast", "finegrain", "reference"):
             assert name in out
         assert "explicit-only" in out  # finegrain is not auto-eligible
 
@@ -503,7 +511,7 @@ class TestExperimentSettingsValidation:
     def test_registered_engines_accepted(self):
         from repro.experiments.suite import ExperimentSettings
 
-        for name in ("auto", "fast", "reference", "finegrain"):
+        for name in ("auto", "compiled", "fast", "reference", "finegrain"):
             ExperimentSettings(engine=name)
 
     def test_unknown_engine_is_a_configuration_error(self):

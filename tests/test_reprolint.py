@@ -199,6 +199,20 @@ RULE_FIXTURES = [
         "        self.last_access[idx] = chunk.cycles\n"
         "        self.last_access = np.maximum(self.last_access, 0)\n",
     ),
+    (
+        "REPRO009",
+        "core/fastsim.py",
+        # Bypassing the dispatch layer pins one backend and crashes
+        # numpy-only environments when that backend is numba/cext.
+        "from repro.kernels import _numba\n"
+        "import repro.kernels._cext as cext\n"
+        "def kernel(tags, starts, ways):\n"
+        "    return _numba.lru_walk(tags, starts, ways)\n",
+        # The dispatch layer owns backend selection and fallback.
+        "from repro.kernels import dispatch as kernels\n"
+        "def kernel(tags, starts, ways, backend=None):\n"
+        "    return kernels.lru_walk(tags, starts, ways, backend=backend)\n",
+    ),
 ]
 
 
@@ -237,6 +251,12 @@ class TestRuleFixtures:
         code = "def resolve(engine):\n    return engine == 'auto'\n"
         assert lint_snippet(tmp_path, "core/engine.py", code, "REPRO004") == []
         assert lint_snippet(tmp_path, "campaign/run.py", code, "REPRO004") != []
+
+    def test_kernels_package_exempt_from_backend_encapsulation(self, tmp_path):
+        # The dispatch layer itself wires the backends together.
+        code = "from repro.kernels import _cext\n"
+        assert lint_snippet(tmp_path, "kernels/dispatch.py", code, "REPRO009") == []
+        assert lint_snippet(tmp_path, "power/idleness.py", code, "REPRO009") != []
 
     def test_json_dump_inside_write_json_atomic_is_exempt(self, tmp_path):
         code = (

@@ -20,7 +20,7 @@ from reprolint.framework import Finding, Module, Rule, register_rule
 #: Engine names the registry owns. String-comparing against these
 #: outside the registry module is exactly the dispatch style PR 4
 #: removed (REPRO004).
-ENGINE_NAMES = frozenset({"fast", "reference", "finegrain", "auto"})
+ENGINE_NAMES = frozenset({"fast", "reference", "finegrain", "compiled", "auto"})
 
 #: numpy float dtype spellings REPRO001 refuses in counter kernels.
 _FLOAT_DTYPE_ATTRS = frozenset(
@@ -444,7 +444,7 @@ class SpawnSafeWorkers(_ScopedVisitorRule):
         "travel via the pool initializer; spawn-mode plugin sweeps "
         "were a review catch"
     )
-    scope = ("analysis/sweep.py", "campaign/run.py")
+    scope = ("analysis/sweep.py", "campaign/run.py", "core/streamsim.py")
 
     def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
         for node in ast.walk(tree):
@@ -711,6 +711,82 @@ class StreamingCarry(_ScopedVisitorRule):
         return False
 
 
+class KernelBackendEncapsulation(_ScopedVisitorRule):
+    """REPRO009 — compiled kernel backends are private to the package.
+
+    ``repro.kernels`` guarantees bit-identical results across its
+    numpy/numba/C backends *through the dispatch layer*: the public
+    functions validate inputs, honor ``REPRO_KERNELS`` and the
+    ``set_backend``/``use_backend`` overrides, and fall back when a
+    compiled backend is unavailable. An import of ``_numba``/``_cext``/
+    ``_numpy`` elsewhere bypasses all of that — it crashes on machines
+    without the dependency and silently pins one backend.
+    """
+
+    rule_id = "REPRO009"
+    title = "no direct imports of compiled kernel backends outside repro.kernels"
+    rationale = (
+        "PR 7: the dispatch layer (repro.kernels) owns backend "
+        "selection and fallback; a direct _numba/_cext import breaks "
+        "numpy-only environments"
+    )
+    scope = ("*.py",)
+    #: The package itself wires its backends together.
+    exempt = ("kernels/*.py",)
+
+    _PRIVATE_BACKENDS = frozenset({"_numpy", "_numba", "_cext", "_ckernels"})
+
+    def applies_to(self, rel_path: str) -> bool:
+        from fnmatch import fnmatch
+
+        if any(
+            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
+            for pattern in self.exempt
+        ):
+            return False
+        return super().applies_to(rel_path)
+
+    def _is_private_kernel_module(self, dotted: str) -> bool:
+        parts = dotted.split(".")
+        if "kernels" not in parts:
+            return False
+        index = parts.index("kernels")
+        return index + 1 < len(parts) and parts[index + 1] in self._PRIVATE_BACKENDS
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                offenders = [
+                    alias.name
+                    for alias in node.names
+                    if self._is_private_kernel_module(alias.name)
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if self._is_private_kernel_module(source):
+                    offenders = [source]
+                elif source.endswith("kernels") or source == "kernels":
+                    offenders = [
+                        f"{source}.{alias.name}"
+                        for alias in node.names
+                        if alias.name in self._PRIVATE_BACKENDS
+                    ]
+                else:
+                    offenders = []
+            else:
+                continue
+            for name in offenders:
+                out.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"direct import of private kernel backend {name}; go "
+                        "through repro.kernels (the dispatch layer owns "
+                        "backend selection, validation and numpy fallback)",
+                    )
+                )
+
+
 def _register_builtins() -> None:
     for rule_cls in (
         IntegerCounterPurity,
@@ -721,6 +797,7 @@ def _register_builtins() -> None:
         ExceptionPolicy,
         Determinism,
         StreamingCarry,
+        KernelBackendEncapsulation,
     ):
         register_rule(rule_cls(), replace=True)
 
