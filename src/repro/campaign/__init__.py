@@ -16,7 +16,11 @@ by data, not by code:
 * :mod:`repro.campaign.store` — :class:`CampaignStore`, one atomic
   record per ``(trace_hash, config_hash)`` under a campaign directory;
 * :mod:`repro.campaign.run` — :func:`run_campaign`, which simulates
-  only the points the store is missing.
+  only the points the store is missing;
+* :mod:`repro.campaign.service` — the campaign-as-a-service layer:
+  per-store SQLite index, claim-based work queue
+  (``run_campaign(workers=N)``), and the stdlib HTTP front-end behind
+  ``repro campaign serve``.
 
 Content-hash guarantees
 -----------------------
@@ -63,9 +67,10 @@ from repro.campaign.run import (
     CampaignStatus,
     campaign_status,
     run_campaign,
+    status_payload,
 )
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import CampaignStore, point_hash
 from repro.campaign.tracespec import TraceSource, TraceSpec, register_trace_source
 
 __all__ = [
@@ -88,4 +93,6 @@ __all__ = [
     "CampaignStatus",
     "campaign_status",
     "run_campaign",
+    "status_payload",
+    "point_hash",
 ]

@@ -123,6 +123,26 @@ def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
     return CampaignStatus(total=total, done=done)
 
 
+def status_payload(spec: CampaignSpec, store: CampaignStore) -> dict:
+    """Machine-readable status — one code path for CLI and HTTP server.
+
+    ``repro campaign status --json`` prints exactly this payload and
+    the service front-end's ``GET /status`` embeds it per spec, so the
+    CI smoke and a remote client read the same numbers. Served from
+    membership checks only: no result file is opened.
+    """
+    status = campaign_status(spec, store)
+    return {
+        "name": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "total": status.total,
+        "done": status.done,
+        "missing": status.missing,
+        "traces": len(spec.traces),
+        "points_per_trace": len(spec.combos()),
+    }
+
+
 def _write_manifest(spec: CampaignSpec, store: CampaignStore) -> None:
     """Record the latest spec (and its hash) in the campaign directory."""
     if store.directory is None:
@@ -134,12 +154,31 @@ def _write_manifest(spec: CampaignSpec, store: CampaignStore) -> None:
     )
 
 
+def _collect_points(spec: CampaignSpec, store: CampaignStore) -> tuple[CampaignPoint, ...]:
+    """Materialize every grid point's stored record, in grid order."""
+    collected: list[CampaignPoint] = []
+    for trace_spec in spec.traces:
+        for point in spec.trace_points(trace_spec):
+            key = point.key()
+            collected.append(
+                CampaignPoint(
+                    trace=trace_spec,
+                    parameters=point.parameters,
+                    trace_hash=key[0],
+                    config_hash=key[1],
+                    record=store.get_record(key),
+                )
+            )
+    return tuple(collected)
+
+
 def run_campaign(
     spec: CampaignSpec,
     directory: str | os.PathLike | None = None,
     store: CampaignStore | None = None,
     lut: LifetimeLUT | None = None,
     parallel: int | None = None,
+    workers: int | None = None,
 ) -> CampaignResult:
     """Execute ``spec``, simulating only points absent from the store.
 
@@ -170,6 +209,15 @@ def run_campaign(
         stream cannot travel to workers) a
         :class:`~repro.errors.ReproWarning` is emitted and that
         trace's pass runs serially.
+    workers:
+        Claim-loop worker processes (the campaign service's work
+        queue). ``None`` keeps the classic single-process path with no
+        claim files. Any value >= 1 routes through
+        :func:`repro.campaign.service.queue.drain_campaign`:
+        missing points are leased (TTL + heartbeat), simulated, and
+        committed, so several invocations — across processes or hosts
+        sharing ``directory`` — drain one campaign without
+        double-simulating. Requires a directory-backed store.
 
     Returns
     -------
@@ -181,6 +229,30 @@ def run_campaign(
         store = CampaignStore(directory)
     shared_lut = lut if lut is not None else LifetimeLUT.default()
     _write_manifest(spec, store)
+
+    if workers is not None:
+        from repro.campaign.service.queue import drain_campaign
+        from repro.errors import ConfigurationError
+
+        if store.directory is None:
+            raise ConfigurationError(
+                "run_campaign(workers=...) needs a directory-backed store; "
+                "claims and commit logs live beside results/"
+            )
+        simulated = drain_campaign(
+            spec,
+            store.directory,
+            lut=shared_lut,
+            workers=workers,
+            parallel=parallel,
+        )
+        points = _collect_points(spec, store)
+        return CampaignResult(
+            spec=spec,
+            points=points,
+            simulated=simulated,
+            reused=len(points) - simulated,
+        )
 
     names = spec.axis_names
     combos = spec.combos()

@@ -1,0 +1,22 @@
+"""Campaign-as-a-service: index, work queue, and HTTP front-end.
+
+Layers on top of the content-addressed :mod:`repro.campaign.store`:
+
+* :mod:`~repro.campaign.service.index` — per-store SQLite index
+  (``index.db``) for O(1) membership and file-free queries; derived
+  from the record files, rebuilt on loss or corruption.
+* :mod:`~repro.campaign.service.queue` — claim-based work queue so many
+  worker processes (or hosts sharing a directory) drain one campaign
+  with zero double-simulations.
+* :mod:`~repro.campaign.service.server` /
+  :mod:`~repro.campaign.service.client` — stdlib HTTP/JSON front-end
+  (``repro campaign serve``) and the thin client the CLI uses.
+
+Only the index is imported eagerly (the store depends on it); the
+queue, server and client import the store and are loaded on demand to
+keep :mod:`repro.campaign` import-cycle-free.
+"""
+
+from repro.campaign.service.index import INDEX_FILENAME, CampaignIndex, index_row
+
+__all__ = ["INDEX_FILENAME", "CampaignIndex", "index_row"]

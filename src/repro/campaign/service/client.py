@@ -1,0 +1,108 @@
+"""Thin stdlib client for the campaign service HTTP API.
+
+Used by the CLI (``repro campaign submit``) and by anything else that
+wants campaign state over the wire without importing the simulator:
+every method mirrors one endpoint of
+:mod:`repro.campaign.service.server` and returns the decoded JSON
+payload. Transport and protocol failures both surface as
+:class:`~repro.errors.ServiceError` (with the server's ``error``
+message when there is one), so callers need a single except clause.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from urllib.parse import urlencode
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Client for one campaign service base URL (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                decoded_error = json.loads(detail)
+            except json.JSONDecodeError:
+                decoded_error = None
+            if isinstance(decoded_error, dict) and "error" in decoded_error:
+                detail = decoded_error["error"]
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"campaign service unreachable at {self.url}: {exc.reason}"
+            ) from exc
+        try:
+            decoded = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"{method} {path}: non-JSON response") from exc
+        if not isinstance(decoded, dict):
+            raise ServiceError(f"{method} {path}: unexpected response shape")
+        return decoded
+
+    # -- endpoints ------------------------------------------------------
+    def status(self) -> dict:
+        """``GET /status``."""
+        return self._request("GET", "/status")
+
+    def submit(self, spec_payload: dict) -> dict:
+        """``POST /specs`` — submit one campaign-spec payload."""
+        return self._request("POST", "/specs", payload=spec_payload)
+
+    def records(self, limit: int | None = None, **filters: object) -> dict:
+        """``GET /records`` with equality ``filters`` on index columns."""
+        params = dict(filters)
+        if limit is not None:
+            params["limit"] = limit
+        query = f"?{urlencode(params)}" if params else ""
+        return self._request("GET", f"/records{query}")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    # -- conveniences ---------------------------------------------------
+    def wait_drained(self, spec_hash: str, timeout: float = 300.0) -> dict:
+        """Poll ``/status`` until ``spec_hash`` reports zero missing.
+
+        Returns that spec's status payload; raises
+        :class:`~repro.errors.ServiceError` if the deadline passes or
+        the server forgets the spec.
+        """
+        deadline = time.monotonic() + timeout
+        interval = 0.05
+        while True:
+            status = self.status()
+            for entry in status.get("specs", []):
+                if entry.get("spec_hash") == spec_hash and not entry.get("missing"):
+                    return entry
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"spec {spec_hash[:12]} not drained within {timeout:.0f}s "
+                    f"(last error: {status.get('last_error')})"
+                )
+            time.sleep(interval)
+            interval = min(interval * 2, 1.0)

@@ -17,6 +17,9 @@ Commands reproduce the paper's artifacts from the terminal::
     repro campaign run s.json --dir DIR     # resumable spec-file campaign
     repro campaign status s.json --dir DIR  # store coverage of a spec
     repro campaign show PATH [--metric X]   # render a campaign dir or results file
+    repro campaign migrate DIR              # flat store -> sharded layout + index
+    repro campaign serve DIR --port N       # HTTP/JSON front-end over a store
+    repro campaign submit s.json --url U    # send a spec to a running service
 
 ``--quick`` runs a reduced benchmark set with shorter traces — useful
 for smoke checks; the full run takes a couple of minutes.
@@ -34,7 +37,11 @@ bit-identical results.
 ``repro campaign`` takes a declarative JSON spec file (see
 :class:`repro.campaign.CampaignSpec`); running the same spec twice
 against the same ``--dir`` simulates nothing the second time, and
-widening an axis simulates only the new points.
+widening an axis simulates only the new points. ``run --workers N``
+drains through the claim-based work queue, so several invocations (or
+hosts sharing the directory) cooperate without double-simulating;
+``serve``/``submit`` put the same machinery behind a stdlib HTTP/JSON
+service (see :mod:`repro.campaign.service`).
 """
 
 from __future__ import annotations
@@ -390,11 +397,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             _render_records(records, metrics=tuple(args.metric))
             return 0
 
+        if args.campaign_command == "migrate":
+            store = CampaignStore(args.dir)
+            moved = store.migrate()
+            indexed = store.rebuild_index()
+            print(f"{args.dir}: migrated {moved} records, indexed {indexed}")
+            return 0
+
+        if args.campaign_command == "serve":
+            from repro.campaign.service.server import serve
+
+            serve(
+                args.dir,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                parallel=args.parallel,
+            )
+            return 0
+
+        if args.campaign_command == "submit":
+            import json
+
+            from repro.campaign.service.client import ServiceClient
+
+            spec = CampaignSpec.load(args.spec)
+            client = ServiceClient(args.url)
+            response = client.submit(spec.to_dict())
+            spec_hash = response["spec_hash"]
+            if args.wait:
+                entry = client.wait_drained(spec_hash, timeout=args.timeout)
+                print(json.dumps(entry, indent=2, sort_keys=True))
+            else:
+                print(f"submitted {spec.name or args.spec} (spec {spec_hash[:12]})")
+            return 0
+
         spec = CampaignSpec.load(args.spec)
         if args.campaign_command == "status":
+            import json
             import os
 
+            from repro.campaign.run import status_payload
+
             store = CampaignStore(args.dir) if args.dir else CampaignStore()
+            if args.json:
+                print(json.dumps(status_payload(spec, store), indent=2, sort_keys=True))
+                return 0
             status = campaign_status(spec, store)
             note = ""
             if args.dir and not os.path.isdir(args.dir):
@@ -408,7 +456,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         # campaign run
         result = run_campaign(
-            spec, directory=args.dir or None, parallel=args.parallel
+            spec,
+            directory=args.dir or None,
+            parallel=args.parallel,
+            workers=args.workers,
         )
         print(
             f"{spec.name or args.spec}: {len(result)} points, "
@@ -580,10 +631,65 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--parallel", type=int, default=None, help="worker processes per trace"
     )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="claim-loop worker processes (work-queue drain: leased claims, "
+        "safe across concurrent invocations sharing --dir; requires --dir)",
+    )
 
     p_status = camp_sub.add_parser("status", help="store coverage of a spec")
     p_status.add_argument("spec", help="campaign spec JSON file")
     p_status.add_argument("--dir", default="", help="campaign directory")
+    p_status.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable status (same payload the service's "
+        "GET /status serves per spec)",
+    )
+
+    p_migrate = camp_sub.add_parser(
+        "migrate",
+        help="rewrite a flat (pre-shard) store into the sharded layout "
+        "in place (atomic per record, resumable) and rebuild index.db",
+    )
+    p_migrate.add_argument("dir", help="campaign directory")
+
+    p_serve = camp_sub.add_parser(
+        "serve", help="expose a campaign directory over HTTP/JSON"
+    )
+    p_serve.add_argument("dir", help="campaign directory")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8437, help="bind port")
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="claim-loop worker processes draining submitted specs",
+    )
+    p_serve.add_argument(
+        "--parallel", type=int, default=None, help="worker processes per trace"
+    )
+
+    p_submit = camp_sub.add_parser(
+        "submit", help="submit a spec file to a running campaign service"
+    )
+    p_submit.add_argument("spec", help="campaign spec JSON file")
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8437", help="service base URL"
+    )
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the service reports the spec fully drained",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="--wait deadline in seconds",
+    )
 
     p_show = camp_sub.add_parser(
         "show", help="render a campaign directory or a saved results file"

@@ -340,6 +340,38 @@ class ResultRecord:
         return self.to_result(lut).metric(name, lut=lut)
 
 
+def read_record_file(path: str | os.PathLike) -> tuple[tuple[str, str], dict]:
+    """Read one campaign-store record file: ``(key, record payload)``.
+
+    The single place the store's on-disk record envelope (``{"key":
+    {"trace_hash", "config_hash"}, "record": {...}}``) is parsed — the
+    lazy store loader, the migration pass and the SQLite index rebuild
+    all read record files through here, so they can never disagree
+    about what a record file looks like.
+
+    Raises
+    ------
+    SerializationError
+        For unreadable JSON or a malformed envelope. The message names
+        the file so a corrupt record in a million-file store is
+        findable.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        key = (
+            str(payload["key"]["trace_hash"]),
+            str(payload["key"]["config_hash"]),
+        )
+        record = payload["record"]
+        if not isinstance(record, dict):
+            raise TypeError("record payload is not a dict")
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SerializationError(f"corrupt campaign record {path}: {exc}") from exc
+    return key, record
+
+
 def save_results(results, path: str | os.PathLike) -> None:
     """Write a list of results (or records' dicts) as a JSON campaign file.
 

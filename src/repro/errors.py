@@ -54,6 +54,16 @@ class UnknownMetricError(ReproError, ValueError):
     """A metric (or metric value) name is not in the metric registry."""
 
 
+class ServiceError(ReproError):
+    """The campaign service layer failed (index, work queue, or HTTP).
+
+    Raised for invalid index queries, unclaimable work-queue state, and
+    client/server protocol failures — anything in
+    :mod:`repro.campaign.service` that is not a plain serialization or
+    configuration problem.
+    """
+
+
 class ModelError(ReproError):
     """An analytical model was evaluated outside its domain of validity."""
 

@@ -350,8 +350,11 @@ class TestCampaignStore:
         results_dir = tmp_path / "results"
         results_dir.mkdir()
         (results_dir / "dead-beef.json").write_text("{not json")
+        # Opening is lazy — nothing is read, so nothing can fail yet...
+        store = CampaignStore(tmp_path)
+        # ...but any enumeration must surface the corruption, not skip it.
         with pytest.raises(SerializationError, match="corrupt campaign record"):
-            CampaignStore(tmp_path)
+            store.records()
 
     def test_opening_a_store_is_read_only(self, tmp_path):
         """status/show must not mutate the filesystem: opening a store

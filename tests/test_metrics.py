@@ -233,8 +233,7 @@ class TestRecomputeFromStoredCounters:
         run_campaign(self.spec(), directory=store_dir, lut=lut)
         results_dir = store_dir / "results"
         stripped = 0
-        for entry in os.listdir(results_dir):
-            path = results_dir / entry
+        for path in sorted(results_dir.rglob("*.json")):
             payload = json.loads(path.read_text())
             assert "metrics" in payload["record"]
             del payload["record"]["metrics"]

@@ -213,6 +213,20 @@ RULE_FIXTURES = [
         "def kernel(tags, starts, ways, backend=None):\n"
         "    return kernels.lru_walk(tags, starts, ways, backend=backend)\n",
     ),
+    (
+        "REPRO010",
+        "campaign/store.py",
+        # A connection opened here would be inherited across the work
+        # queue's fork and corrupt the index's locking state.
+        "import sqlite3\n"
+        "def count(path):\n"
+        "    conn = sqlite3.connect(path)\n"
+        "    return conn.execute('SELECT COUNT(*) FROM records').fetchone()[0]\n",
+        # Going through the index keeps connections per pid/thread.
+        "from repro.campaign.service.index import CampaignIndex\n"
+        "def count(index: CampaignIndex) -> int:\n"
+        "    return index.count()\n",
+    ),
 ]
 
 
@@ -257,6 +271,17 @@ class TestRuleFixtures:
         code = "from repro.kernels import _cext\n"
         assert lint_snippet(tmp_path, "kernels/dispatch.py", code, "REPRO009") == []
         assert lint_snippet(tmp_path, "power/idleness.py", code, "REPRO009") != []
+
+    def test_index_module_exempt_from_sqlite_encapsulation(self, tmp_path):
+        # The index module is the one sanctioned connect site.
+        code = "import sqlite3\nconn = sqlite3.connect(':memory:')\n"
+        assert (
+            lint_snippet(tmp_path, "campaign/service/index.py", code, "REPRO010")
+            == []
+        )
+        assert lint_snippet(tmp_path, "campaign/run.py", code, "REPRO010") != []
+        imported = "from sqlite3 import connect\n"
+        assert lint_snippet(tmp_path, "campaign/store.py", imported, "REPRO010") != []
 
     def test_json_dump_inside_write_json_atomic_is_exempt(self, tmp_path):
         code = (

@@ -444,7 +444,12 @@ class SpawnSafeWorkers(_ScopedVisitorRule):
         "travel via the pool initializer; spawn-mode plugin sweeps "
         "were a review catch"
     )
-    scope = ("analysis/sweep.py", "campaign/run.py", "core/streamsim.py")
+    scope = (
+        "analysis/sweep.py",
+        "campaign/run.py",
+        "campaign/service/queue.py",
+        "core/streamsim.py",
+    )
 
     def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
         for node in ast.walk(tree):
@@ -787,6 +792,71 @@ class KernelBackendEncapsulation(_ScopedVisitorRule):
                 )
 
 
+class SqliteEncapsulation(_ScopedVisitorRule):
+    """REPRO010 — SQLite connections are private to the campaign index.
+
+    A ``sqlite3.Connection`` must never cross a process fork: a child
+    inheriting the parent's handle corrupts SQLite's locking state, and
+    the campaign work queue forks workers freely. The index module owns
+    the one sanctioned ``connect`` site and hands out lazily created
+    per-pid, per-thread connections; everything else goes through
+    :class:`repro.campaign.service.index.CampaignIndex`.
+    """
+
+    rule_id = "REPRO010"
+    title = "no sqlite3.connect outside campaign/service/index.py"
+    rationale = (
+        "PR 8: the work queue forks worker processes; a connection "
+        "opened elsewhere and inherited across fork() corrupts the "
+        "index database's locking state"
+    )
+    scope = ("*.py",)
+    #: The index module is the one sanctioned connect site.
+    exempt = ("campaign/service/index.py",)
+
+    def applies_to(self, rel_path: str) -> bool:
+        from fnmatch import fnmatch
+
+        if any(
+            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
+            for pattern in self.exempt
+        ):
+            return False
+        return super().applies_to(rel_path)
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and call_name(node) in (
+                "sqlite3.connect",
+                "sqlite3.dbapi2.connect",
+            ):
+                out.append(
+                    self.finding(
+                        module,
+                        node,
+                        "direct sqlite3.connect; connections must not cross "
+                        "process forks — go through "
+                        "repro.campaign.service.index.CampaignIndex, which "
+                        "opens per-pid, per-thread connections lazily",
+                    )
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "sqlite3",
+                "sqlite3.dbapi2",
+            ):
+                for alias in node.names:
+                    if alias.name in ("connect", "Connection"):
+                        out.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"from sqlite3 import {alias.name}; SQLite "
+                                "access goes through repro.campaign.service."
+                                "index.CampaignIndex (fork-safe connections)",
+                            )
+                        )
+
+
 def _register_builtins() -> None:
     for rule_cls in (
         IntegerCounterPurity,
@@ -798,6 +868,7 @@ def _register_builtins() -> None:
         Determinism,
         StreamingCarry,
         KernelBackendEncapsulation,
+        SqliteEncapsulation,
     ):
         register_rule(rule_cls(), replace=True)
 
