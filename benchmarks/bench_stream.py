@@ -134,7 +134,9 @@ def _run_child(mode: str, windows: int, chunk_cycles: int, rss_cap_mb: int) -> d
     ]
     proc = subprocess.run(command, capture_output=True, text=True)
     if proc.returncode != 0:
-        raise RuntimeError(
+        from repro.errors import SimulationError
+
+        raise SimulationError(
             f"{mode} child failed (rc={proc.returncode}):\n{proc.stderr[-2000:]}"
         )
     return json.loads(proc.stdout)

@@ -44,6 +44,8 @@ import socket
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
 
 from repro.aging.lut import LifetimeLUT
 from repro.analysis.sweep import _breakeven_group_ids, simulate_selected
@@ -51,6 +53,7 @@ from repro.campaign.run import _streaming_source, _write_manifest, campaign_stat
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore, point_hash
 from repro.core.plan import TracePlan
+from repro.core.results import SimulationResult
 from repro.errors import ServiceError
 
 #: Subdirectory of a campaign directory holding one lease file per
@@ -309,7 +312,12 @@ def _drain_pass(
                     [group_ids[i] for i in batch] if group_ids is not None else None
                 )
 
-                def on_result(j: int, result, _batch=batch, _keys=keys) -> None:
+                def on_result(
+                    j: int,
+                    result: SimulationResult,
+                    _batch: list[int] = batch,
+                    _keys: list[tuple[str, str]] = keys,
+                ) -> None:
                     key = _keys[_batch[j]]
                     store.put(key, result)
                     queue.log_commit(key)
@@ -394,22 +402,35 @@ def drain_worker(
             time.sleep(poll_interval)
 
 
-#: Per-worker drain parameters, installed once by the pool initializer
-#: so task payloads carry only the worker ordinal.
-_drain_state: dict | None = None
+@dataclass
+class _DrainState:
+    """Per-worker drain parameters shipped via the pool initializer."""
+
+    spec: CampaignSpec
+    directory: str
+    lut: LifetimeLUT
+    lease_ttl: float
+    claim_batch: int
+    parallel: int | None
+    timeout: float | None
+
+
+#: Installed once by the pool initializer so task payloads carry only
+#: the worker ordinal.
+_drain_state: _DrainState | None = None
 
 
 def _init_drain_worker(
-    spec_payload: dict,
+    spec_payload: dict[str, Any],
     directory: str,
     lut: LifetimeLUT,
     lease_ttl: float,
     claim_batch: int,
     parallel: int | None,
     timeout: float | None,
-    engines: tuple = (),
-    metrics: tuple = (),
-    templates: tuple = (),
+    engines: tuple[Any, ...] = (),
+    metrics: tuple[Any, ...] = (),
+    templates: tuple[Any, ...] = (),
 ) -> None:
     """Pool initializer: the spec, LUT and the parent's plugins.
 
@@ -425,15 +446,15 @@ def _init_drain_worker(
     install_metrics(metrics)
     install_engines(engines)
     global _drain_state
-    _drain_state = {
-        "spec": CampaignSpec.from_dict(spec_payload),
-        "directory": directory,
-        "lut": lut,
-        "lease_ttl": lease_ttl,
-        "claim_batch": claim_batch,
-        "parallel": parallel,
-        "timeout": timeout,
-    }
+    _drain_state = _DrainState(
+        spec=CampaignSpec.from_dict(spec_payload),
+        directory=directory,
+        lut=lut,
+        lease_ttl=lease_ttl,
+        claim_batch=claim_batch,
+        parallel=parallel,
+        timeout=timeout,
+    )
 
 
 def _drain_task(ordinal: int) -> int:
@@ -441,13 +462,13 @@ def _drain_task(ordinal: int) -> int:
     assert _drain_state is not None  # installed by _init_drain_worker
     state = _drain_state
     return drain_worker(
-        state["spec"],
-        state["directory"],
-        lut=state["lut"],
-        lease_ttl=state["lease_ttl"],
-        claim_batch=state["claim_batch"],
-        parallel=state["parallel"],
-        timeout=state["timeout"],
+        state.spec,
+        state.directory,
+        lut=state.lut,
+        lease_ttl=state.lease_ttl,
+        claim_batch=state.claim_batch,
+        parallel=state.parallel,
+        timeout=state.timeout,
         worker_id=f"{socket.gethostname()}-{os.getpid()}-w{ordinal}",
     )
 

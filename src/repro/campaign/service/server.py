@@ -38,6 +38,7 @@ import os
 import queue as queue_module
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.aging.lut import LifetimeLUT
@@ -51,7 +52,7 @@ from repro.errors import ReproError, ServiceError
 SPECS_DIRNAME = "specs"
 
 
-def _coerce(value: str):
+def _coerce(value: str) -> int | float | str | None:
     """Query-string value → the type the index stores (int/float/str)."""
     if value == "null":
         return None
@@ -84,7 +85,8 @@ class CampaignService:
         self.parallel = parallel
         self.lut = lut
         self.store = CampaignStore(self.directory)
-        self._backlog: queue_module.Queue = queue_module.Queue()
+        #: None is the stop sentinel (see :meth:`stop`).
+        self._backlog: queue_module.Queue[CampaignSpec | None] = queue_module.Queue()
         self._active: str | None = None
         self._last_error: str | None = None
         self._lock = threading.Lock()
@@ -102,13 +104,13 @@ class CampaignService:
         """Every spec ever submitted to (or dropped into) ``specs/``."""
         if not os.path.isdir(self.specs_dir):
             return []
-        specs = []
+        specs: list[CampaignSpec] = []
         for name in sorted(os.listdir(self.specs_dir)):
             if name.endswith(".json"):
                 specs.append(CampaignSpec.load(os.path.join(self.specs_dir, name)))
         return specs
 
-    def submit(self, payload: dict) -> str:
+    def submit(self, payload: dict[str, Any]) -> str:
         """Validate, persist and enqueue one spec; returns its hash."""
         try:
             spec = CampaignSpec.from_dict(payload)
@@ -154,7 +156,7 @@ class CampaignService:
         self._backlog.put(None)
 
     # -- views ----------------------------------------------------------
-    def status(self) -> dict:
+    def status(self) -> dict[str, Any]:
         with self._lock:
             active = self._active
             last_error = self._last_error
@@ -167,11 +169,13 @@ class CampaignService:
             "last_error": last_error,
         }
 
-    def records(self, filters: dict, limit: int | None) -> dict:
+    def records(
+        self, filters: dict[str, Any], limit: int | None
+    ) -> dict[str, Any]:
         rows = self.store.where(limit=limit, **filters)
         return {"count": len(rows), "records": rows}
 
-    def metrics(self) -> dict:
+    def metrics(self) -> dict[str, Any]:
         index = self.store.index
         if index is None or not os.path.isdir(
             os.path.join(self.directory, "results")
@@ -187,11 +191,11 @@ class _Handler(BaseHTTPRequestHandler):
     server: CampaignServer  # type: ignore[assignment]
 
     # -- plumbing -------------------------------------------------------
-    def log_message(self, format: str, *args) -> None:
+    def log_message(self, format: str, *args: Any) -> None:
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, code: int, payload: dict) -> None:
+    def _send_json(self, code: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -199,7 +203,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _read_json(self) -> dict:
+    def _read_json(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length)
         try:

@@ -31,6 +31,7 @@ from reprolint import (
     unregister_rule,
 )
 from reprolint.framework import Module
+from reprolint.report import render_github, render_json, render_sarif
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -214,6 +215,134 @@ RULE_FIXTURES = [
         "    return kernels.lru_walk(tags, starts, ways, backend=backend)\n",
     ),
     (
+        "REPRO003",
+        "campaign/records.py",
+        # Interprocedural: json.dump hidden in a helper whose caller is
+        # NOT an atomic writer still fires.
+        "import json\n"
+        "def _emit(handle, payload):\n"
+        "    json.dump(payload, handle)\n"
+        "def save(path, payload):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        _emit(handle, payload)\n",
+        # The same helper reached only from write_json_atomic is the
+        # sanctioned delegation pattern.
+        "import json, os, tempfile\n"
+        "def _emit(handle, payload):\n"
+        "    json.dump(payload, handle)\n"
+        "def write_json_atomic(path, payload):\n"
+        "    fd, tmp = tempfile.mkstemp(dir='.')\n"
+        "    with os.fdopen(fd, 'w') as handle:\n"
+        "        _emit(handle, payload)\n"
+        "    os.replace(tmp, path)\n",
+    ),
+    (
+        "REPRO010",
+        "campaign/service/index.py",
+        # Interprocedural: the index module may *hold* connections but a
+        # public method handing one out (via a private wrapper) leaks
+        # the fork-hostile handle to arbitrary callers.
+        "import sqlite3\n"
+        "class CampaignIndex:\n"
+        "    def _connect(self):\n"
+        "        return sqlite3.connect(':memory:')\n"
+        "    def connection(self):\n"
+        "        return self._connect()\n",
+        # Private plumbing plus operation-shaped public surface.
+        "import sqlite3\n"
+        "class CampaignIndex:\n"
+        "    def _connect(self) -> sqlite3.Connection:\n"
+        "        return sqlite3.connect(':memory:')\n"
+        "    def count(self):\n"
+        "        return self._connect().execute('select 1').fetchone()[0]\n",
+    ),
+    (
+        "REPRO011",
+        "campaign/service/state.py",
+        # A module-global sqlite connection read by pool-worker code is
+        # inherited across fork() with shared locking state.
+        "import sqlite3\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "_DB = sqlite3.connect('index.db')\n"
+        "def _task(key):\n"
+        "    return _DB.execute('select 1').fetchone()\n"
+        "def run(keys):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(_task, keys))\n",
+        # The _drain_state pattern: a None-initialized slot the pool
+        # initializer fills inside each worker.
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "_state = None\n"
+        "def _init(path):\n"
+        "    global _state\n"
+        "    _state = {'path': path}\n"
+        "def _task(key):\n"
+        "    return (_state['path'], key)\n"
+        "def run(keys, path):\n"
+        "    with ProcessPoolExecutor(initializer=_init,\n"
+        "                             initargs=(path,)) as pool:\n"
+        "        return list(pool.map(_task, keys))\n",
+    ),
+    (
+        "REPRO012",
+        "campaign/service/server.py",
+        # self.active written by the Thread-target loop AND by ordinary
+        # code, with neither side holding the class's lock.
+        "import threading\n"
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.active = None\n"
+        "    def start(self):\n"
+        "        threading.Thread(target=self._loop, daemon=True).start()\n"
+        "    def _loop(self):\n"
+        "        self.active = 'draining'\n"
+        "    def reset(self):\n"
+        "        self.active = None\n",
+        "import threading\n"
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.active = None\n"
+        "    def start(self):\n"
+        "        threading.Thread(target=self._loop, daemon=True).start()\n"
+        "    def _loop(self):\n"
+        "        with self._lock:\n"
+        "            self.active = 'draining'\n"
+        "    def reset(self):\n"
+        "        with self._lock:\n"
+        "            self.active = None\n",
+    ),
+    (
+        "REPRO013",
+        "campaign/service/tasks.py",
+        # A handle escaping a pool-reachable function outlives the call.
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def _work(path):\n"
+        "    handle = open(path)\n"
+        "    return handle.read()\n"
+        "def run(paths):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(_work, paths))\n",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def _work(path):\n"
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n"
+        "def run(paths):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(_work, paths))\n",
+    ),
+    (
+        "REPRO014",
+        "campaign/service/__init__.py",
+        "def compute():\n"
+        "    return 1\n"
+        "__all__ = ['compute', 'missing']\n",
+        "def compute():\n"
+        "    return 1\n"
+        "__all__ = ['compute']\n",
+    ),
+    (
         "REPRO010",
         "campaign/store.py",
         # A connection opened here would be inherited across the work
@@ -252,7 +381,7 @@ class TestRuleFixtures:
     def test_every_builtin_rule_has_a_firing_fixture(self):
         covered = {rule_id for rule_id, *_ in RULE_FIXTURES}
         assert set(rule_ids()) <= covered
-        assert len(rule_ids()) >= 8
+        assert len(rule_ids()) >= 14
 
     def test_scoping_confines_rules(self, tmp_path):
         # A counter-purity violation outside the counter kernels is not
@@ -387,6 +516,18 @@ class TestBaseline:
         with pytest.raises(LintError, match="baseline"):
             load_baseline(os.fspath(path))
 
+    def test_truncated_baseline_is_loud(self, tmp_path):
+        # A partially written baseline (crash mid-write, bad merge) must
+        # fail loudly, not silently grandfather nothing.
+        path = os.fspath(tmp_path / "baseline.json")
+        save_baseline(path, [Finding("src/x.py", 1, 1, "REPRO003", "boom")])
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(LintError, match="baseline"):
+            load_baseline(path)
+
     def test_repo_baseline_is_empty(self):
         entries = load_baseline(os.path.join(REPO_ROOT, ".reprolint-baseline.json"))
         assert entries == []
@@ -422,6 +563,197 @@ class TestSelfCheck:
         findings = run_lint([os.fspath(target)], select=("REPRO003",))
         assert [f.rule_id for f in findings] == ["REPRO003"]
         assert re.search(r"write_json_atomic", findings[0].message)
+
+
+class TestProjectModel:
+    """Unit coverage for the whole-program model the project rules share."""
+
+    @staticmethod
+    def make_project(files):
+        from reprolint.project import Project
+
+        return Project(Module(rel, rel, text) for rel, text in files.items())
+
+    def test_entry_points_cover_pools_threads_and_handlers(self):
+        text = (
+            "import threading\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from http.server import BaseHTTPRequestHandler\n"
+            "def _task(key):\n"
+            "    return key\n"
+            "def _init():\n"
+            "    pass\n"
+            "class Handler(BaseHTTPRequestHandler):\n"
+            "    def do_GET(self):\n"
+            "        pass\n"
+            "class Service:\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._loop).start()\n"
+            "    def _loop(self):\n"
+            "        pass\n"
+            "def run(keys):\n"
+            "    with ProcessPoolExecutor(initializer=_init) as pool:\n"
+            "        return list(pool.map(_task, keys))\n"
+        )
+        project = self.make_project({"service/app.py": text})
+        entries = {(e.function.qualname, e.kind) for e in project.entry_points()}
+        assert ("_task", "process") in entries
+        assert ("_init", "process") in entries
+        assert ("Service._loop", "thread") in entries
+        assert ("Handler.do_GET", "thread") in entries
+
+    def test_reachability_follows_calls_across_modules(self):
+        files = {
+            "service/helpers.py": (
+                "def helper(x):\n"
+                "    return leaf(x)\n"
+                "def leaf(x):\n"
+                "    return x\n"
+                "def unused(x):\n"
+                "    return x\n"
+            ),
+            "service/app.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from service.helpers import helper\n"
+                "def _task(key):\n"
+                "    return helper(key)\n"
+                "def run(keys):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.map(_task, keys))\n"
+            ),
+        }
+        project = self.make_project(files)
+        reached = {qualname for _, qualname in project.service_reachable()}
+        assert {"_task", "helper", "leaf"} <= reached
+        assert "unused" not in reached
+        assert "run" not in reached
+
+    def test_callers_are_the_reverse_call_graph(self):
+        project = self.make_project(
+            {
+                "pkg/mod.py": (
+                    "def leaf():\n"
+                    "    return 1\n"
+                    "def a():\n"
+                    "    return leaf()\n"
+                    "def b():\n"
+                    "    return leaf()\n"
+                )
+            }
+        )
+        symbols = project.module_symbols("pkg/mod.py")
+        leaf = symbols.functions["leaf"]
+        assert {fn.qualname for fn in project.callers(leaf)} == {"a", "b"}
+
+    def test_global_readers_cross_module_alias(self):
+        files = {
+            "service/state.py": (
+                "import sqlite3\n"
+                "_DB = sqlite3.connect('x.db')\n"
+                "def reads():\n"
+                "    return _DB.execute('select 1')\n"
+                "def ignores():\n"
+                "    return 1\n"
+            ),
+            "service/user.py": (
+                "from service.state import _DB\n"
+                "def touch():\n"
+                "    return _DB\n"
+            ),
+        }
+        project = self.make_project(files)
+        readers = {
+            fn.qualname
+            for fn in project.global_readers("service/state.py", "_DB")
+        }
+        assert readers == {"reads", "touch"}
+
+
+class TestDeadPragmas:
+    def test_dead_pragma_is_reported(self, tmp_path):
+        path = tmp_path / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("X = 1  # reprolint: disable=REPRO003\n")
+        findings = run_lint([os.fspath(path)])
+        assert [f.rule_id for f in findings] == ["REPRO000"]
+        assert "dead pragma" in findings[0].message
+        assert "REPRO003" in findings[0].message
+
+    def test_live_pragma_is_not_dead(self, tmp_path):
+        path = tmp_path / "campaign" / "store.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "import json\n"
+            "def put(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump(payload, handle)  # reprolint: disable=REPRO003\n"
+        )
+        findings = run_lint([os.fspath(path)])
+        assert not any(f.rule_id == "REPRO000" for f in findings)
+
+    def test_opt_out_flag_silences_dead_pragmas(self, tmp_path):
+        path = tmp_path / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("X = 1  # reprolint: disable=REPRO003\n")
+        assert run_lint([os.fspath(path)], check_pragmas=False) == []
+
+    def test_narrowed_run_does_not_judge_unran_rules(self, tmp_path):
+        # disable=REPRO007 cannot be proven dead by a run that only
+        # executed REPRO003.
+        path = tmp_path / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("X = 1  # reprolint: disable=REPRO007\n")
+        assert run_lint([os.fspath(path)], select=("REPRO003",)) == []
+
+    def test_docstring_mention_is_not_a_pragma(self, tmp_path):
+        # Prose *about* the pragma syntax (this file's own docs do
+        # this) has no comment token and is never audited.
+        path = tmp_path / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            '"""Example:\n'
+            "\n"
+            "    # reprolint: disable=REPRO003\n"
+            '"""\n'
+            "X = 1\n"
+        )
+        assert run_lint([os.fspath(path)]) == []
+
+
+class TestReports:
+    def test_render_json_round_trip(self):
+        finding = Finding("src/x.py", 10, 2, "REPRO003", "direct json.dump")
+        payload = json.loads(render_json([finding], suppressed=3))
+        assert payload["version"] == 1
+        assert payload["count"] == 1
+        assert payload["suppressed"] == 3
+        assert payload["findings"] == [finding.to_dict()]
+
+    def test_render_github_escapes_workflow_syntax(self):
+        finding = Finding("src/x.py", 3, 5, "REPRO007", "50% of runs\ndiverge")
+        out = render_github([finding])
+        assert out == (
+            "::error file=src/x.py,line=3,col=5,"
+            "title=REPRO007::50%25 of runs%0Adiverge"
+        )
+
+    def test_render_sarif_document(self):
+        finding = Finding("src/x.py", 3, 5, "REPRO003", "boom")
+        document = json.loads(render_sarif([finding]))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["REPRO003"]
+        result = run["results"][0]
+        assert result["ruleId"] == "REPRO003"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/x.py"
+        assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_render_sarif_empty_run_is_valid(self):
+        document = json.loads(render_sarif([]))
+        assert document["runs"][0]["results"] == []
+        assert document["runs"][0]["tool"]["driver"]["rules"] == []
 
 
 class TestCli:
@@ -471,10 +803,75 @@ class TestCli:
         assert gated.returncode == 0
         assert "suppressed" in gated.stdout
 
+    def test_default_scope_is_clean(self):
+        # No paths → src/repro + tools/reprolint + benchmarks, the CI
+        # invocation. Whole tree, whole-program rules, zero findings.
+        proc = self.run_cli()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
     def test_select_unknown_rule_is_usage_error(self):
         proc = self.run_cli("src/repro", "--select", "REPRO404")
         assert proc.returncode == 2
         assert "unknown rule" in proc.stderr
+
+    def test_nonexistent_path_is_usage_error(self, tmp_path):
+        proc = self.run_cli(os.fspath(tmp_path / "nope"))
+        assert proc.returncode == 2
+        assert "no such file or directory" in proc.stderr
+
+    def test_default_paths_missing_is_usage_error(self, tmp_path):
+        # From a directory with none of the default trees, the implicit
+        # invocation refuses rather than lint nothing and exit 0.
+        env = dict(os.environ, PYTHONPATH=REPO_ROOT)
+        proc = subprocess.run(
+            [sys.executable, "-m", "reprolint"],
+            capture_output=True,
+            text=True,
+            cwd=os.fspath(tmp_path),
+            env=env,
+        )
+        assert proc.returncode == 2
+        assert "none of the default paths" in proc.stderr
+
+    def test_github_format_annotates(self, tmp_path):
+        bad = tmp_path / "campaign" / "store.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import json\n"
+            "def put(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump(payload, handle)\n"
+        )
+        proc = self.run_cli(os.fspath(bad), "--format", "github")
+        assert proc.returncode == 1
+        assert proc.stdout.startswith("::error file=")
+        assert "title=REPRO003" in proc.stdout
+
+    def test_sarif_format_parses(self, tmp_path):
+        bad = tmp_path / "campaign" / "store.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import json\n"
+            "def put(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump(payload, handle)\n"
+        )
+        proc = self.run_cli(os.fspath(bad), "--format", "sarif")
+        assert proc.returncode == 1
+        document = json.loads(proc.stdout)
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"][0]["ruleId"] == "REPRO003"
+
+    def test_no_check_pragmas_flag(self, tmp_path):
+        stale = tmp_path / "core" / "x.py"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("X = 1  # reprolint: disable=REPRO003\n")
+        audited = self.run_cli(os.fspath(stale))
+        assert audited.returncode == 1
+        assert "REPRO000" in audited.stdout and "dead pragma" in audited.stdout
+        opted_out = self.run_cli(os.fspath(stale), "--no-check-pragmas")
+        assert opted_out.returncode == 0, opted_out.stdout + opted_out.stderr
 
     def test_list_rules_names_all_builtins(self):
         proc = self.run_cli("--list-rules")

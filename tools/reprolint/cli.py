@@ -16,7 +16,25 @@ from reprolint.baseline import (
     save_baseline,
 )
 from reprolint.framework import LintError, rule_ids, run_lint
-from reprolint.report import render_json, render_rules, render_text
+from reprolint.report import (
+    render_github,
+    render_json,
+    render_rules,
+    render_sarif,
+    render_text,
+)
+
+#: Everything linted when no paths are given: the library, the linter
+#: itself, and the benchmark harnesses. Kernel-only rules carve these
+#: extra trees out via their ``exclude`` patterns.
+DEFAULT_PATHS = ("src/repro", "tools/reprolint", "benchmarks")
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+    "sarif": render_sarif,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,8 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+        default=None,
+        help=(
+            "files or directories to lint "
+            f"(default: {' '.join(DEFAULT_PATHS)}, skipping any that "
+            "do not exist)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -42,9 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=tuple(_RENDERERS),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--no-check-pragmas",
+        action="store_true",
+        help=(
+            "do not report dead '# reprolint: disable=...' pragmas "
+            "(pragmas that suppress zero findings)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -84,8 +114,24 @@ def main(argv: list[str] | None = None) -> int:
     if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
         baseline_path = DEFAULT_BASELINE
 
+    paths = args.paths
+    if not paths:
+        # The implicit default tolerates missing trees (a sparse
+        # checkout without benchmarks/ still lints what it has);
+        # explicitly named paths must exist.
+        paths = [path for path in DEFAULT_PATHS if os.path.exists(path)]
+        if not paths:
+            print(
+                "reprolint: error: none of the default paths "
+                f"({', '.join(DEFAULT_PATHS)}) exist here",
+                file=sys.stderr,
+            )
+            return 2
+
     try:
-        findings = run_lint(args.paths, select=select)
+        findings = run_lint(
+            paths, select=select, check_pragmas=not args.no_check_pragmas
+        )
         if args.write_baseline:
             target = baseline_path or DEFAULT_BASELINE
             save_baseline(target, findings)
@@ -100,8 +146,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     fresh, suppressed = apply_baseline(findings, baseline_entries)
-    render = render_json if args.format == "json" else render_text
-    print(render(fresh, suppressed))
+    rendered = _RENDERERS[args.format](fresh, suppressed)
+    if rendered:
+        print(rendered)
     return 1 if fresh else 0
 
 

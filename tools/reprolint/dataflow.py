@@ -1,0 +1,102 @@
+"""Intra-function value tracking for whole-program rules.
+
+Deliberately small: the whole-program rules need to answer exactly two
+kinds of question about one function body —
+
+* *assignment chains*: ``handle = open(p); h = handle; return h``
+  reaches ``return`` with the value produced by ``open(p)``;
+* *wrapper returns*: ``def connection(): return self._connect()``
+  returns whatever ``self._connect`` returns, so a rule following a
+  value across functions asks :class:`FunctionDataflow` for the calls a
+  function may return and resolves the callees through the project's
+  call graph.
+
+The tracking is conservative in the lint direction: a name may carry
+*any* of the values ever assigned to it in the function (no path
+sensitivity, no kill analysis beyond same-name rebinding inside the
+map), so a rule asking "may this function return a connection?" gets
+``True`` whenever any assignment chain allows it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def assigned_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by one assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from assigned_names(elt)
+
+
+class FunctionDataflow:
+    """Assignment chains and returned values of one function body.
+
+    Only the function's own statements are visited — nested ``def``/
+    ``lambda`` bodies are opaque (their assignments do not leak into
+    the enclosing function's names).
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        #: name -> every expression ever assigned to it in this body.
+        self.bindings: dict[str, list[ast.expr]] = {}
+        self.returns: list[ast.expr] = []
+        for node in self._own_walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name in assigned_names(target):
+                        self.bindings.setdefault(name, []).append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                for name in assigned_names(node.target):
+                    self.bindings.setdefault(name, []).append(node.value)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self.returns.append(node.value)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for name in assigned_names(item.optional_vars):
+                            self.bindings.setdefault(name, []).append(
+                                item.context_expr
+                            )
+
+    @staticmethod
+    def _own_walk(func: ast.AST) -> Iterator[ast.AST]:
+        """``ast.walk`` stopping at nested function/class boundaries."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def origins(self, expr: ast.expr, _depth: int = 0) -> list[ast.expr]:
+        """The producing expressions an expression may evaluate to.
+
+        Follows chains of plain-name assignments (bounded, so cyclic
+        rebindings like ``a = b; b = a`` terminate); anything that is
+        not a name resolves to itself.
+        """
+        if isinstance(expr, ast.Name) and _depth < 8:
+            sources = self.bindings.get(expr.id, [])
+            resolved: list[ast.expr] = []
+            for source in sources:
+                resolved.extend(self.origins(source, _depth + 1))
+            return resolved
+        return [expr]
+
+    def returned_origins(self) -> list[ast.expr]:
+        """Producing expressions reachable at any ``return`` statement."""
+        origins: list[ast.expr] = []
+        for value in self.returns:
+            origins.extend(self.origins(value))
+        return origins
+
+    def returned_calls(self) -> list[ast.Call]:
+        """Call expressions whose results this function may return."""
+        return [o for o in self.returned_origins() if isinstance(o, ast.Call)]

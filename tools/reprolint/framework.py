@@ -20,8 +20,10 @@ Suppression, in order of preference:
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass
 from fnmatch import fnmatch
 from typing import Iterable, Iterator
@@ -109,22 +111,55 @@ class Rule:
         matches the module's reported path directly or as a suffix
         (``power/idleness.py`` matches ``src/repro/power/idleness.py``),
         so rules behave identically however the linter is invoked.
+    exclude:
+        Glob patterns (same matching as ``scope``) carved *out* of the
+        scope — e.g. a kernel-only invariant explicitly excluding the
+        benchmark and tooling trees, or a rule exempting the one module
+        allowed to own a resource.
+
+    A rule implements either :meth:`check` (one module at a time) or
+    :meth:`check_project` (the whole program at once) — ``run_lint``
+    calls whichever the subclass overrides, so per-module rules are
+    untouched by the whole-program machinery.
     """
 
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
     scope: tuple[str, ...] = ("*.py",)
+    exclude: tuple[str, ...] = ()
 
-    def applies_to(self, rel_path: str) -> bool:
+    @staticmethod
+    def _matches(rel_path: str, patterns: Iterable[str]) -> bool:
         return any(
             fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
-            for pattern in self.scope
+            for pattern in patterns
         )
+
+    def applies_to(self, rel_path: str) -> bool:
+        if self._matches(rel_path, self.exclude):
+            return False
+        return self._matches(rel_path, self.scope)
 
     def check(self, module: Module) -> Iterable[Finding]:
         """Yield findings for ``module``; rules must not mutate it."""
         raise NotImplementedError
+
+    def check_project(self, project: "object") -> Iterable[Finding]:
+        """Yield findings for the whole project model.
+
+        Override for rules whose invariant is a *program* property
+        (reachability, import structure, cross-module dataflow). The
+        ``project`` argument is a :class:`reprolint.project.Project`;
+        the rule is responsible for honoring its own ``scope`` via
+        :meth:`applies_to` when it attributes findings to modules.
+        """
+        raise NotImplementedError
+
+    @property
+    def is_project_rule(self) -> bool:
+        """Whether this rule overrides :meth:`check_project`."""
+        return type(self).check_project is not Rule.check_project
 
     def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -146,7 +181,7 @@ def _ensure_builtins() -> None:
     if _builtins_loaded:
         return
     _builtins_loaded = True
-    import reprolint.rules  # noqa: F401  (registers REPRO001..008)
+    import reprolint.rules  # noqa: F401  (registers the REPRO built-ins)
 
 
 def register_rule(rule: Rule, replace: bool = False) -> None:
@@ -225,22 +260,51 @@ def iter_source_files(paths: Iterable[str]) -> Iterator[tuple[str, str]]:
                 yield os.path.abspath(full), os.path.relpath(full).replace(os.sep, "/")
 
 
+def _comment_starts(text: str) -> set[tuple[int, int]] | None:
+    """``(line, col)`` of every comment token, or None if untokenizable."""
+    try:
+        return {
+            (tok.start[0], tok.start[1])
+            for tok in tokenize.generate_tokens(io.StringIO(text).readline)
+            if tok.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenError, IndentationError):
+        return None
+
+
 def run_lint(
     paths: Iterable[str],
     select: Iterable[str] | None = None,
+    check_pragmas: bool = True,
 ) -> list[Finding]:
     """Lint every ``.py`` file under ``paths`` with the selected rules.
 
     ``select`` narrows to specific rule ids (validated against the
-    registry); the default runs every registered rule. Returns findings
-    sorted by location; inline pragmas are already applied, baselines
-    are the caller's concern (see :func:`reprolint.baseline.apply_baseline`).
+    registry); the default runs every registered rule. Per-module rules
+    see one :class:`Module` at a time; whole-program rules (those
+    overriding :meth:`Rule.check_project`) share one
+    :class:`reprolint.project.Project` built from every parsed module.
+
+    A ``# reprolint: disable=RULE`` pragma that suppresses zero
+    findings is itself reported (as ``REPRO000``) so stale suppressions
+    cannot accumulate silently; ``check_pragmas=False`` opts out. A
+    pragma naming a rule that did not run this invocation (``--select``
+    narrowing) is never reported dead, and ``disable=all`` pragmas are
+    only audited on full runs.
+
+    Returns findings sorted by location; inline pragmas are already
+    applied, baselines are the caller's concern (see
+    :func:`reprolint.baseline.apply_baseline`).
     """
     if select is not None:
         rules = tuple(get_rule(rule_id) for rule_id in select)
     else:
         rules = registered_rules()
+    module_rules = [rule for rule in rules if not rule.is_project_rule]
+    project_rules = [rule for rule in rules if rule.is_project_rule]
+
     findings: list[Finding] = []
+    modules: dict[str, Module] = {}
     for path, rel_path in iter_source_files(paths):
         with open(path, encoding="utf-8") as handle:
             text = handle.read()
@@ -257,12 +321,68 @@ def run_lint(
                 )
             )
             continue
-        for rule in rules:
-            if not rule.applies_to(module.rel_path):
+        modules[module.rel_path] = module
+        for rule in module_rules:
+            if rule.applies_to(module.rel_path):
+                findings.extend(rule.check(module))
+    if project_rules:
+        from reprolint.project import Project
+
+        project = Project(modules.values())
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+
+    # Apply inline pragmas, accounting which ones actually suppressed
+    # something so dead pragmas can be reported.
+    used: set[tuple[str, int, str]] = set()
+    kept: list[Finding] = []
+    for finding in findings:
+        module = modules.get(finding.path)
+        disabled = (
+            module.disabled_on_line(finding.line) if module is not None else frozenset()
+        )
+        if finding.rule_id in disabled:
+            used.add((finding.path, finding.line, finding.rule_id))
+        elif "all" in disabled:
+            used.add((finding.path, finding.line, "all"))
+        else:
+            kept.append(finding)
+    if check_pragmas:
+        ran_ids = {rule.rule_id for rule in rules}
+        for rel_path, module in modules.items():
+            comment_starts = _comment_starts(module.text)
+            if comment_starts is None:
                 continue
-            for finding in rule.check(module):
-                disabled = module.disabled_on_line(finding.line)
-                if "all" in disabled or finding.rule_id in disabled:
+            for line_no, line in enumerate(module.lines, start=1):
+                match = _PRAGMA.search(line)
+                if not match:
                     continue
-                findings.append(finding)
-    return sorted(findings)
+                # Only audit pragmas that *are* a comment — a docstring
+                # or doc comment quoting the pragma syntax is prose
+                # about a pragma, not a stale one.
+                if (line_no, match.start()) not in comment_starts:
+                    continue
+                for token in match.group(1).split(","):
+                    token = token.strip()
+                    if not token:
+                        continue
+                    if token == "all":
+                        if select is not None:
+                            continue  # a narrowed run proves nothing
+                    elif token not in ran_ids:
+                        continue  # that rule did not run
+                    if (rel_path, line_no, token) not in used:
+                        kept.append(
+                            Finding(
+                                path=rel_path,
+                                line=line_no,
+                                col=match.start() + 1,
+                                rule_id="REPRO000",
+                                message=(
+                                    f"dead pragma: disable={token} suppresses "
+                                    "no finding on this line — remove it (or "
+                                    "fix the rule id)"
+                                ),
+                            )
+                        )
+    return sorted(kept)

@@ -1,0 +1,640 @@
+"""Whole-program model: modules, imports, symbols, and a call graph.
+
+Per-module AST matching (PR 6) cannot see the bug classes the campaign
+service introduced: whether a module-global sqlite connection is
+*reachable* from a pool worker, or which methods run on the heartbeat
+thread, are properties of the program, not of any one file. This module
+builds the shared model every whole-program rule consumes:
+
+:class:`ModuleSymbols`
+    One module's symbol table — top-level functions, classes (with
+    methods and base names), module globals, imports and ``__all__``.
+:class:`Project`
+    The module set plus the derived structure: an import graph (local
+    names resolved to project modules by dotted-suffix matching, so the
+    model works from an uninstalled checkout and on test fixtures
+    alike), a conservative call graph, the concurrency *entry points*
+    (functions handed to ``ProcessPoolExecutor.submit/map`` or shipped
+    as its ``initializer=``, ``threading.Thread(target=...)`` targets,
+    and ``do_*`` methods of HTTP handler classes), and reachability
+    queries over all of it.
+
+Call resolution is deliberately conservative in the reporting
+direction: direct calls resolve through local symbols and imports,
+``self.method()`` resolves through the class and its project-local
+bases, ``obj.method()`` resolves through annotations and assignment
+chains when possible and falls back to a *unique* project-wide method
+name match — a method name defined by several classes stays unresolved
+rather than fanning out into noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.dataflow import FunctionDataflow, assigned_names
+from reprolint.framework import Module
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    def __init__(
+        self,
+        module: Module,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: "ClassInfo | None" = None,
+    ) -> None:
+        self.module = module
+        self.node = node
+        self.cls = cls
+        self.name = node.name
+        self.qualname = f"{cls.name}.{node.name}" if cls is not None else node.name
+        #: Stable identity usable as a dict/set key.
+        self.key = (module.rel_path, self.qualname)
+        self._dataflow: FunctionDataflow | None = None
+
+    @property
+    def dataflow(self) -> FunctionDataflow:
+        if self._dataflow is None:
+            self._dataflow = FunctionDataflow(self.node)
+        return self._dataflow
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.module.rel_path}::{self.qualname})"
+
+
+class ClassInfo:
+    """One class definition: methods, base names, lock-like attributes."""
+
+    def __init__(self, module: Module, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.bases = [dotted_name(base) for base in node.bases if dotted_name(base)]
+        self.methods: dict[str, FunctionInfo] = {}
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[child.name] = FunctionInfo(module, child, cls=self)
+
+
+class ModuleSymbols:
+    """Symbol table of one module: defs, classes, globals, imports."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Module-level ``name = <expr>`` assignments (last one wins).
+        self.globals: dict[str, ast.expr] = {}
+        self.global_nodes: dict[str, ast.stmt] = {}
+        #: local name -> (source module dotted path, original name or
+        #: None for a plain ``import x`` module binding).
+        self.imports: dict[str, tuple[str, str | None]] = {}
+        self.all_names: list[str] | None = None
+        self.all_node: ast.stmt | None = None
+        self.has_module_getattr = False
+        self._collect()
+
+    def _collect(self) -> None:
+        package_parts = self.module.rel_path.split("/")[:-1]
+        # Walk module-level statements *including* conditional blocks
+        # (``try: import numba``, ``if TYPE_CHECKING:`` ...) — names
+        # bound there are module attributes too — but never descend
+        # into function or class bodies.
+        worklist: list[ast.stmt] = list(self.module.tree.body)
+        while worklist:
+            node = worklist.pop(0)
+            if isinstance(node, (ast.If, ast.While, ast.For)):
+                worklist.extend(node.body)
+                worklist.extend(node.orelse)
+                continue
+            if isinstance(node, ast.Try):
+                worklist.extend(node.body)
+                for handler in node.handlers:
+                    worklist.extend(handler.body)
+                worklist.extend(node.orelse)
+                worklist.extend(node.finalbody)
+                continue
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                worklist.extend(node.body)
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(self.module, node)
+                if node.name == "__getattr__":
+                    self.has_module_getattr = True
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = ClassInfo(self.module, node)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = (alias.name, None)
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if node.level:
+                    base = package_parts[: len(package_parts) - node.level + 1]
+                    source = ".".join([*base, source] if source else base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = (source, alias.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                for target in targets:
+                    for name in assigned_names(target):
+                        if value is not None:
+                            self.globals[name] = value
+                            self.global_nodes[name] = node
+                        if name == "__all__" and isinstance(
+                            value, (ast.List, ast.Tuple)
+                        ):
+                            self.all_names = [
+                                elt.value
+                                for elt in value.elts
+                                if isinstance(elt, ast.Constant)
+                                and isinstance(elt.value, str)
+                            ]
+                            self.all_node = node
+
+    def defines(self, name: str) -> bool:
+        """Whether ``name`` is bound at module level (any way at all)."""
+        return (
+            name in self.functions
+            or name in self.classes
+            or name in self.globals
+            or name in self.imports
+            or self.has_module_getattr
+        )
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+
+class EntryPoint:
+    """One function the program hands to a thread or worker process."""
+
+    def __init__(self, function: FunctionInfo, kind: str, site: ast.AST) -> None:
+        self.function = function
+        #: ``"process"`` (pool worker / initializer — fork-sensitive)
+        #: or ``"thread"`` (Thread target, HTTP handler method).
+        self.kind = kind
+        self.site = site
+
+
+#: Base-class name suffixes that mark a class's ``do_*`` methods as
+#: per-request thread entry points (ThreadingHTTPServer handlers).
+_HANDLER_BASE_SUFFIXES = ("BaseHTTPRequestHandler", "SimpleHTTPRequestHandler")
+
+
+class Project:
+    """The whole-program model shared by every ``check_project`` rule."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        self.modules: list[Module] = list(modules)
+        self.symbols: dict[str, ModuleSymbols] = {
+            module.rel_path: ModuleSymbols(module) for module in self.modules
+        }
+        #: dotted suffix -> rel_paths claiming it (ambiguity preserved).
+        self._dotted: dict[str, list[str]] = {}
+        for rel_path in sorted(self.symbols):
+            parts = rel_path[: -len(".py")].split("/")
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            for start in range(len(parts)):
+                self._dotted.setdefault(".".join(parts[start:]), []).append(rel_path)
+        self._callees: dict[tuple[str, str], list[FunctionInfo]] = {}
+        self._callers: dict[tuple[str, str], list[FunctionInfo]] | None = None
+        self._entry_points: list[EntryPoint] | None = None
+        self._method_index: dict[str, list[FunctionInfo]] | None = None
+
+    # -- module / symbol resolution ------------------------------------
+    def module_symbols(self, rel_path: str) -> ModuleSymbols | None:
+        return self.symbols.get(rel_path)
+
+    def resolve_module(self, dotted: str) -> ModuleSymbols | None:
+        """Project module for a dotted import path (suffix matching).
+
+        Tries the longest suffix first, so ``repro.campaign.store``
+        prefers ``src/repro/campaign/store.py`` over any other
+        ``store.py``; an ambiguous suffix resolves to nothing.
+        """
+        parts = dotted.split(".")
+        for start in range(len(parts)):
+            candidates = self._dotted.get(".".join(parts[start:]))
+            if candidates and len(candidates) == 1:
+                return self.symbols[candidates[0]]
+            if candidates:
+                return None
+        return None
+
+    def imported_function(
+        self, symbols: ModuleSymbols, local_name: str
+    ) -> FunctionInfo | None:
+        """The project function a ``from X import name`` binding names."""
+        entry = symbols.imports.get(local_name)
+        if entry is None:
+            return None
+        source_dotted, original = entry
+        source = self.resolve_module(source_dotted)
+        if source is None:
+            return None
+        if original is None:
+            return None
+        if original in source.functions:
+            return source.functions[original]
+        cls = source.classes.get(original)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        # Re-export chains (package __init__) — follow one more hop.
+        nested = source.imports.get(original)
+        if nested is not None:
+            return self.imported_function(source, original)
+        return None
+
+    def _method_lookup(self, name: str) -> list[FunctionInfo]:
+        if self._method_index is None:
+            self._method_index = {}
+            for symbols in self.symbols.values():
+                for cls in symbols.classes.values():
+                    for method in cls.methods.values():
+                        self._method_index.setdefault(method.name, []).append(method)
+        return self._method_index.get(name, [])
+
+    def _class_for_annotation(
+        self, symbols: ModuleSymbols, annotation: ast.expr | None
+    ) -> ClassInfo | None:
+        if annotation is None:
+            return None
+        name = dotted_name(annotation)
+        if not name:
+            # string annotations ("CampaignStore") and subscripts
+            if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str
+            ):
+                name = annotation.value.strip("'\"").split("[")[0]
+            else:
+                return None
+        return self._resolve_class_name(symbols, name)
+
+    def _resolve_class_name(
+        self, symbols: ModuleSymbols, name: str
+    ) -> ClassInfo | None:
+        parts = name.split(".")
+        head, tail = parts[0], parts[-1]
+        if name in symbols.classes:
+            return symbols.classes[name]
+        if head in symbols.imports:
+            source_dotted, original = symbols.imports[head]
+            if original is None:
+                # ``import pkg.mod`` + ``pkg.mod.Class``: the module
+                # path is everything but the final class name.
+                middle = ".".join(parts[1:-1])
+                source = self.resolve_module(
+                    f"{source_dotted}.{middle}" if middle else source_dotted
+                )
+                if source is None:
+                    source = self.resolve_module(source_dotted)
+                if source is not None:
+                    return source.classes.get(tail)
+            else:
+                source = self.resolve_module(source_dotted)
+                if source is not None and original in source.classes:
+                    return source.classes[original]
+        return None
+
+    def class_bases(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Project-local base classes of ``cls`` (resolved by name)."""
+        symbols = self.symbols[cls.module.rel_path]
+        bases: list[ClassInfo] = []
+        for base in cls.bases:
+            resolved = self._resolve_class_name(symbols, base)
+            if resolved is not None:
+                bases.append(resolved)
+        return bases
+
+    def _class_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if name in current.methods:
+                return current.methods[name]
+            queue.extend(self.class_bases(current))
+        return None
+
+    # -- call graph -----------------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, scope: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Project functions a call expression may invoke (conservative)."""
+        return self._resolve_callable(call.func, scope)
+
+    def _resolve_callable(
+        self, func: ast.expr, scope: FunctionInfo
+    ) -> list[FunctionInfo]:
+        symbols = self.symbols[scope.module.rel_path]
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in symbols.functions:
+                return [symbols.functions[name]]
+            if name in symbols.classes:
+                init = symbols.classes[name].methods.get("__init__")
+                return [init] if init is not None else []
+            imported = self.imported_function(symbols, name)
+            if imported is not None:
+                return [imported]
+            # A local binding to something resolvable (aliasing).
+            for origin in scope.dataflow.bindings.get(name, []):
+                if isinstance(origin, (ast.Name, ast.Attribute)):
+                    resolved = self._resolve_callable(origin, scope)
+                    if resolved:
+                        return resolved
+            return []
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            value = func.value
+            # self.method() — the class and its project-local bases.
+            if isinstance(value, ast.Name) and value.id == "self" and scope.cls:
+                method = self._class_method(scope.cls, attr)
+                return [method] if method is not None else []
+            # module.func() through an ``import module`` binding.
+            value_dotted = dotted_name(value)
+            if value_dotted:
+                head = value_dotted.split(".")[0]
+                if head in symbols.imports and symbols.imports[head][1] is None:
+                    source = self.resolve_module(
+                        symbols.imports[head][0]
+                        + value_dotted[len(head):].replace("/", ".")
+                    )
+                    if source is None:
+                        source = self.resolve_module(symbols.imports[head][0])
+                    if source is not None:
+                        if attr in source.functions:
+                            return [source.functions[attr]]
+                        if attr in source.classes:
+                            init = source.classes[attr].methods.get("__init__")
+                            return [init] if init is not None else []
+            # obj.method() — annotation, then assignment chain, then a
+            # *unique* project-wide method-name match.
+            cls = self._infer_class(value, scope)
+            if cls is not None:
+                method = self._class_method(cls, attr)
+                return [method] if method is not None else []
+            unique = self._method_lookup(attr)
+            if len(unique) == 1:
+                return [unique[0]]
+            return []
+        return []
+
+    def _infer_class(self, value: ast.expr, scope: FunctionInfo) -> ClassInfo | None:
+        symbols = self.symbols[scope.module.rel_path]
+        if isinstance(value, ast.Name):
+            # Parameter annotation.
+            args = scope.node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.arg == value.id:
+                    found = self._class_for_annotation(symbols, arg.annotation)
+                    if found is not None:
+                        return found
+            # Assignment chain to a constructor call.
+            for origin in scope.dataflow.origins(value):
+                if isinstance(origin, ast.Call):
+                    constructed = self._resolve_class_of_call(origin, scope)
+                    if constructed is not None:
+                        return constructed
+        elif isinstance(value, ast.Call):
+            return self._resolve_class_of_call(value, scope)
+        return None
+
+    def _resolve_class_of_call(
+        self, call: ast.Call, scope: FunctionInfo
+    ) -> ClassInfo | None:
+        name = dotted_name(call.func)
+        if not name:
+            return None
+        return self._resolve_class_name(self.symbols[scope.module.rel_path], name)
+
+    def callees(self, function: FunctionInfo) -> list[FunctionInfo]:
+        """Every project function ``function`` may call (memoized)."""
+        cached = self._callees.get(function.key)
+        if cached is not None:
+            return cached
+        found: dict[tuple[str, str], FunctionInfo] = {}
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Call):
+                for callee in self.resolve_call(node, function):
+                    found[callee.key] = callee
+                # Functions passed as values (callbacks, pool tasks)
+                # are conservatively treated as called.
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    for target in self._function_value(arg, function):
+                        found[target.key] = target
+        result = list(found.values())
+        self._callees[function.key] = result
+        return result
+
+    def _function_value(
+        self, expr: ast.expr, scope: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Project functions an expression evaluates to (not calls)."""
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            resolved = self._resolve_callable(expr, scope)
+            return [f for f in resolved if f.name != "__init__"]
+        return []
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for symbols in self.symbols.values():
+            yield from symbols.iter_functions()
+
+    def callers(self, function: FunctionInfo) -> list[FunctionInfo]:
+        """Reverse call-graph edges (built once, on first use)."""
+        if self._callers is None:
+            self._callers = {}
+            for caller in self.iter_functions():
+                for callee in self.callees(caller):
+                    self._callers.setdefault(callee.key, []).append(caller)
+        return self._callers.get(function.key, [])
+
+    # -- concurrency entry points ----------------------------------------
+    def entry_points(self) -> list[EntryPoint]:
+        """Thread targets, pool tasks/initializers, handler methods."""
+        if self._entry_points is not None:
+            return self._entry_points
+        entries: list[EntryPoint] = []
+        for function in self.iter_functions():
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                tail = name.rsplit(".", 1)[-1]
+                if tail == "Thread":
+                    target = self._keyword(node, "target")
+                    if target is not None:
+                        for resolved in self._resolve_value(target, function):
+                            entries.append(EntryPoint(resolved, "thread", node))
+                elif tail in ("ProcessPoolExecutor", "ThreadPoolExecutor"):
+                    initializer = self._keyword(node, "initializer")
+                    kind = "process" if tail == "ProcessPoolExecutor" else "thread"
+                    if initializer is not None:
+                        for resolved in self._resolve_value(initializer, function):
+                            entries.append(EntryPoint(resolved, kind, node))
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("submit", "map")
+                    and node.args
+                ):
+                    kind = self._pool_kind(node.func.value, function)
+                    if kind is not None:
+                        for resolved in self._resolve_value(node.args[0], function):
+                            entries.append(EntryPoint(resolved, kind, node))
+        # do_* methods of HTTP request handler classes run per request
+        # on server threads.
+        for symbols in self.symbols.values():
+            for cls in symbols.classes.values():
+                if not self._is_handler_class(cls):
+                    continue
+                for method in cls.methods.values():
+                    if method.name.startswith("do_"):
+                        entries.append(EntryPoint(method, "thread", cls.node))
+        self._entry_points = entries
+        return entries
+
+    def _is_handler_class(self, cls: ClassInfo, _depth: int = 0) -> bool:
+        if any(
+            base.rsplit(".", 1)[-1] in _HANDLER_BASE_SUFFIXES for base in cls.bases
+        ):
+            return True
+        if _depth >= 4:
+            return False
+        return any(
+            self._is_handler_class(base, _depth + 1)
+            for base in self.class_bases(cls)
+        )
+
+    @staticmethod
+    def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _resolve_value(
+        self, expr: ast.expr, scope: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Functions an expression names (entry-point targets)."""
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            resolved = self._resolve_callable(expr, scope)
+            if resolved:
+                return resolved
+            # ``Thread(target=self._loop)``: _resolve_callable already
+            # covers self.*; a bare name bound by assignment falls
+            # through to the dataflow chain.
+            if isinstance(expr, ast.Name):
+                for origin in scope.dataflow.origins(expr):
+                    if origin is not expr and isinstance(
+                        origin, (ast.Name, ast.Attribute)
+                    ):
+                        deeper = self._resolve_callable(origin, scope)
+                        if deeper:
+                            return deeper
+        return []
+
+    def _pool_kind(self, receiver: ast.expr, scope: FunctionInfo) -> str | None:
+        """``"process"``/``"thread"`` for a ``.submit``/``.map`` receiver.
+
+        Unknown receivers count as process pools: for fork-safety a
+        false "process" is the conservative direction, and plain
+        ``obj.map``/``obj.submit`` calls on non-executors do not resolve
+        their first argument to a project function anyway in the
+        overwhelmingly common case.
+        """
+        origins = (
+            scope.dataflow.origins(receiver)
+            if isinstance(receiver, ast.Name)
+            else [receiver]
+        )
+        for origin in origins:
+            if isinstance(origin, ast.Call):
+                tail = dotted_name(origin.func).rsplit(".", 1)[-1]
+                if tail == "ProcessPoolExecutor":
+                    return "process"
+                if tail == "ThreadPoolExecutor":
+                    return "thread"
+        return "process"
+
+    # -- reachability -----------------------------------------------------
+    def reachable_from(
+        self, roots: Iterable[FunctionInfo]
+    ) -> set[tuple[str, str]]:
+        """Keys of every function reachable from ``roots`` (inclusive)."""
+        seen: set[tuple[str, str]] = set()
+        queue = list(roots)
+        while queue:
+            function = queue.pop()
+            if function.key in seen:
+                continue
+            seen.add(function.key)
+            queue.extend(self.callees(function))
+        return seen
+
+    def service_reachable(self, kinds: tuple[str, ...] = ("process", "thread")) -> set[tuple[str, str]]:
+        """Functions reachable from any entry point of the given kinds."""
+        roots = [e.function for e in self.entry_points() if e.kind in kinds]
+        return self.reachable_from(roots)
+
+    def global_readers(self, rel_path: str, name: str) -> list[FunctionInfo]:
+        """Functions that may read module global ``name`` of ``rel_path``.
+
+        Covers same-module functions referencing the bare name and
+        other modules' functions referencing a ``from``-imported alias
+        of it. Conservative: any ``Name`` occurrence counts as a read.
+        """
+        readers: list[FunctionInfo] = []
+        owner = self.symbols.get(rel_path)
+        if owner is None:
+            return readers
+        for function in owner.iter_functions():
+            if any(
+                isinstance(node, ast.Name) and node.id == name
+                for node in ast.walk(function.node)
+            ):
+                readers.append(function)
+        for other_path, symbols in self.symbols.items():
+            if other_path == rel_path:
+                continue
+            aliases = [
+                local
+                for local, (source, original) in symbols.imports.items()
+                if original == name and self.resolve_module(source) is owner
+            ]
+            if not aliases:
+                continue
+            for function in symbols.iter_functions():
+                if any(
+                    isinstance(node, ast.Name) and node.id in aliases
+                    for node in ast.walk(function.node)
+                ):
+                    readers.append(function)
+        return readers

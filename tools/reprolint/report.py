@@ -34,6 +34,84 @@ def render_json(findings: list[Finding], suppressed: int = 0) -> str:
     return json.dumps(payload, indent=1, sort_keys=True)
 
 
+def render_github(findings: list[Finding], suppressed: int = 0) -> str:
+    """GitHub Actions workflow commands: one ``::error`` per finding.
+
+    Emitted to stdout during a workflow run, these annotate the PR diff
+    at the exact file/line. Messages are escaped per the workflow-
+    command rules (%, CR and LF are data, not syntax).
+    """
+    del suppressed  # annotations cover fresh findings only
+
+    def escape(value: str) -> str:
+        return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+    return "\n".join(
+        f"::error file={escape(f.path)},line={f.line},col={f.col},"
+        f"title={escape(f.rule_id)}::{escape(f.message)}"
+        for f in findings
+    )
+
+
+def render_sarif(findings: list[Finding], suppressed: int = 0) -> str:
+    """SARIF 2.1.0 document for GitHub code-scanning upload.
+
+    Only rules that actually fired are described in the driver (the
+    viewer needs ids it can resolve; the full catalog lives in
+    ``--list-rules``).
+    """
+    del suppressed
+    by_id = {rule.rule_id: rule for rule in registered_rules()}
+    fired = sorted({finding.rule_id for finding in findings})
+    sarif_rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": by_id[rule_id].title if rule_id in by_id else rule_id
+            },
+        }
+        for rule_id in fired
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=1, sort_keys=True)
+
+
 def render_rules() -> str:
     """The ``--list-rules`` table: id, scope, invariant, rationale."""
     lines = []

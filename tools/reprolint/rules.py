@@ -15,7 +15,9 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from reprolint.dataflow import assigned_names
 from reprolint.framework import Finding, Module, Rule, register_rule
+from reprolint.project import ClassInfo, FunctionInfo, Project
 
 #: Engine names the registry owns. String-comparing against these
 #: outside the registry module is exactly the dispatch style PR 4
@@ -184,6 +186,9 @@ class IntegerCounterPurity(_ScopedVisitorRule):
         "core/streamsim.py",
         "cache/stats.py",
     )
+    #: Kernel-only invariant: the default lint scope also walks
+    #: benchmarks/ and tools/, where float math is fine by design.
+    exclude = ("benchmarks/*", "tools/*")
 
     def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
         property_spans: list[tuple[int, int]] = []
@@ -306,7 +311,7 @@ class HashStableCodec(_ScopedVisitorRule):
                         )
 
 
-class AtomicWrites(_ScopedVisitorRule):
+class AtomicWrites(Rule):
     """REPRO003 — result/meta JSON reaches disk atomically.
 
     A crash between ``open(path, "w")`` and the final flush leaves a
@@ -314,6 +319,13 @@ class AtomicWrites(_ScopedVisitorRule):
     persistent JSON goes through ``write_json_atomic`` (temp file +
     ``os.replace``); this rule's first self-run caught the
     ``meta.json`` write in ``save_trace_mmap``.
+
+    Interprocedural (PR 9): a ``json.dump`` is in an atomic context
+    when its enclosing function is ``write_json_atomic`` itself,
+    performs the temp-file + ``os.replace`` idiom in its own body, or
+    is a helper reached *only* from such functions — the per-module
+    version flagged serialization helpers that write_json_atomic
+    delegates to, and missed nothing it should have.
     """
 
     rule_id = "REPRO003"
@@ -324,32 +336,82 @@ class AtomicWrites(_ScopedVisitorRule):
     )
     scope = ("*.py",)
 
-    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
-        exempt_spans: list[tuple[int, int]] = []
-        for node in ast.walk(tree):
-            if (
-                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name == "write_json_atomic"
-            ):
-                exempt_spans.append((node.lineno, node.end_lineno or node.lineno))
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.Call):
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        memo: dict[tuple[str, str], bool] = {}
+        for module in project.modules:
+            if not self.applies_to(module.rel_path):
                 continue
-            name = call_name(node)
-            if not (name.endswith("json.dump") or name == "dump"):
-                continue
-            line = node.lineno
-            if any(start <= line <= end for start, end in exempt_spans):
-                continue
-            out.append(
-                self.finding(
-                    module,
-                    node,
-                    "direct json.dump to disk; route persistent JSON through "
-                    "repro.core.serialize.write_json_atomic (temp file + "
-                    "os.replace) so a crash can never truncate it",
+            symbols = project.symbols[module.rel_path]
+            spans = [
+                (fn, fn.node.lineno, fn.node.end_lineno or fn.node.lineno)
+                for fn in symbols.iter_functions()
+            ]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if not (name.endswith("json.dump") or name == "dump"):
+                    continue
+                enclosing = self._enclosing(spans, node.lineno)
+                if enclosing is not None and self._atomic_context(
+                    project, enclosing, memo, frozenset()
+                ):
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "direct json.dump to disk; route persistent JSON through "
+                        "repro.core.serialize.write_json_atomic (temp file + "
+                        "os.replace) so a crash can never truncate it",
+                    )
                 )
-            )
+        return findings
+
+    @staticmethod
+    def _enclosing(
+        spans: list[tuple[FunctionInfo, int, int]], line: int
+    ) -> FunctionInfo | None:
+        """Innermost known function whose span contains ``line``."""
+        best: FunctionInfo | None = None
+        best_size = 0
+        for fn, start, end in spans:
+            if start <= line <= end and (best is None or end - start < best_size):
+                best, best_size = fn, end - start
+        return best
+
+    def _atomic_context(
+        self,
+        project: Project,
+        function: FunctionInfo,
+        memo: dict[tuple[str, str], bool],
+        stack: frozenset[tuple[str, str]],
+    ) -> bool:
+        """Whether every path into ``function`` is an atomic write."""
+        cached = memo.get(function.key)
+        if cached is not None:
+            return cached
+        if function.key in stack:
+            return False
+        if function.name == "write_json_atomic" or self._replaces_in_place(function):
+            memo[function.key] = True
+            return True
+        callers = project.callers(function)
+        result = bool(callers) and all(
+            self._atomic_context(project, caller, memo, stack | {function.key})
+            for caller in callers
+        )
+        memo[function.key] = result
+        return result
+
+    @staticmethod
+    def _replaces_in_place(function: FunctionInfo) -> bool:
+        return any(
+            isinstance(node, ast.Call)
+            and call_name(node) in ("os.replace", "os.rename")
+            for node in ast.walk(function.node)
+        )
 
 
 class RegistryDiscipline(_ScopedVisitorRule):
@@ -369,17 +431,7 @@ class RegistryDiscipline(_ScopedVisitorRule):
     )
     scope = ("*.py",)
     #: The registry itself resolves names; that is its job.
-    exempt = ("core/engine.py",)
-
-    def applies_to(self, rel_path: str) -> bool:
-        from fnmatch import fnmatch
-
-        if any(
-            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
-            for pattern in self.exempt
-        ):
-            return False
-        return super().applies_to(rel_path)
+    exclude = ("core/engine.py",)
 
     @staticmethod
     def _engine_name_constants(node: ast.expr) -> bool:
@@ -650,6 +702,8 @@ class StreamingCarry(_ScopedVisitorRule):
         "depends on it"
     )
     scope = ("core/streamsim.py", "power/idleness.py")
+    #: Kernel-only invariant (see REPRO001's exclude).
+    exclude = ("benchmarks/*", "tools/*")
 
     _PER_CHUNK_METHODS = frozenset(
         {"process", "process_chunk", "update", "add", "advance", "consume"}
@@ -737,19 +791,9 @@ class KernelBackendEncapsulation(_ScopedVisitorRule):
     )
     scope = ("*.py",)
     #: The package itself wires its backends together.
-    exempt = ("kernels/*.py",)
+    exclude = ("kernels/*.py",)
 
     _PRIVATE_BACKENDS = frozenset({"_numpy", "_numba", "_cext", "_ckernels"})
-
-    def applies_to(self, rel_path: str) -> bool:
-        from fnmatch import fnmatch
-
-        if any(
-            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
-            for pattern in self.exempt
-        ):
-            return False
-        return super().applies_to(rel_path)
 
     def _is_private_kernel_module(self, dotted: str) -> bool:
         parts = dotted.split(".")
@@ -801,6 +845,12 @@ class SqliteEncapsulation(_ScopedVisitorRule):
     the one sanctioned ``connect`` site and hands out lazily created
     per-pid, per-thread connections; everything else goes through
     :class:`repro.campaign.service.index.CampaignIndex`.
+
+    Interprocedural (PR 9): the index module itself must not leak
+    either — a *public* function or method that returns a connection
+    (directly, through an assignment chain, or by delegating to a
+    helper that does) hands the fork-hostile handle to arbitrary
+    callers, which is the same bug with extra steps.
     """
 
     rule_id = "REPRO010"
@@ -811,18 +861,63 @@ class SqliteEncapsulation(_ScopedVisitorRule):
         "index database's locking state"
     )
     scope = ("*.py",)
-    #: The index module is the one sanctioned connect site.
-    exempt = ("campaign/service/index.py",)
+    #: The index module is the one sanctioned connect site (but its
+    #: public surface is still checked for escaping connections).
+    exclude = ("campaign/service/index.py",)
 
-    def applies_to(self, rel_path: str) -> bool:
-        from fnmatch import fnmatch
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            if self.applies_to(module.rel_path):
+                self.visit(module, module.tree, findings)
+            elif self._matches(module.rel_path, self.exclude):
+                self._check_index_surface(project, module, findings)
+        return findings
 
-        if any(
-            fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern)
-            for pattern in self.exempt
-        ):
+    def _check_index_surface(
+        self, project: Project, module: Module, out: list[Finding]
+    ) -> None:
+        """Flag public index functions that return a connection."""
+        symbols = project.symbols[module.rel_path]
+        for fn in symbols.iter_functions():
+            if fn.name.startswith("_"):
+                continue
+            if self._returns_connection(project, fn, frozenset()):
+                out.append(
+                    self.finding(
+                        module,
+                        fn.node,
+                        f"{fn.qualname} returns a sqlite3 connection out of "
+                        "the index module; handles are per-pid/per-thread "
+                        "private state — expose an operation on the index, "
+                        "not the connection",
+                    )
+                )
+
+    def _returns_connection(
+        self,
+        project: Project,
+        function: FunctionInfo,
+        stack: frozenset[tuple[str, str]],
+    ) -> bool:
+        if function.key in stack:
             return False
-        return super().applies_to(rel_path)
+        returns = function.node.returns
+        if returns is not None:
+            annotated = dotted_name(returns)
+            if not annotated and isinstance(returns, ast.Constant):
+                annotated = str(returns.value)
+            if annotated.rsplit(".", 1)[-1] == "Connection":
+                return True
+        for call in function.dataflow.returned_calls():
+            if call_name(call) in ("sqlite3.connect", "sqlite3.dbapi2.connect"):
+                return True
+            for callee in project.resolve_call(call, function):
+                if self._returns_connection(
+                    project, callee, stack | {function.key}
+                ):
+                    return True
+        return False
 
     def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
         for node in ast.walk(tree):
@@ -857,6 +952,448 @@ class SqliteEncapsulation(_ScopedVisitorRule):
                         )
 
 
+#: Constructors whose result is fork-hostile when stored in a module
+#: global: the child either shares the parent's kernel state (files,
+#: sockets, sqlite) or silently duplicates it (locks, RNG streams).
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
+_RNG_CTORS = frozenset({"default_rng", "Random", "RandomState"})
+_QUEUE_CTORS = frozenset({"Queue", "SimpleQueue", "LifoQueue", "PriorityQueue"})
+_FILE_CTORS = frozenset({"NamedTemporaryFile", "TemporaryFile"})
+
+
+class ForkSafety(Rule):
+    """REPRO011 — no fork-hostile module globals in pool-worker code.
+
+    ``drain_campaign`` forks worker processes. A module-global lock is
+    cloned in a possibly-held state (instant deadlock), a global file
+    handle or sqlite connection shares one file offset / locking state
+    across every worker, and a global RNG instance hands each fork the
+    same stream. State a worker needs must be created inside the
+    worker or shipped through the pool initializer — that is exactly
+    the ``_drain_state`` pattern in ``campaign/service/queue.py``.
+    """
+
+    rule_id = "REPRO011"
+    title = "no fork-hostile module globals reachable from pool workers"
+    rationale = (
+        "PR 8: drain workers fork; module globals holding locks, "
+        "handles, connections or RNGs are silently shared or "
+        "duplicated across the fork boundary"
+    )
+    scope = ("*.py",)
+
+    @staticmethod
+    def _stateful_label(value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        head, _, _ = name.partition(".")
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _LOCK_CTORS and (
+            name == tail or head in ("threading", "multiprocessing")
+        ):
+            return "a synchronization primitive"
+        if tail == "connect" and "sqlite" in name:
+            return "a sqlite3 connection"
+        if name == "open" or name in ("io.open", "os.fdopen", "gzip.open"):
+            return "an open file handle"
+        if tail in _FILE_CTORS:
+            return "an open temporary file"
+        if tail in _RNG_CTORS and (
+            name == tail or head in ("np", "numpy", "random")
+        ):
+            return "an RNG instance"
+        if tail in _QUEUE_CTORS and (
+            name == tail or head in ("queue", "multiprocessing")
+        ):
+            return "an in-process queue"
+        return None
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        worker_reach = project.service_reachable(kinds=("process",))
+        if not worker_reach:
+            return findings
+        for module in project.modules:
+            if not self.applies_to(module.rel_path):
+                continue
+            symbols = project.symbols[module.rel_path]
+            for name in sorted(symbols.globals):
+                label = self._stateful_label(symbols.globals[name])
+                if label is None:
+                    continue
+                readers = [
+                    reader
+                    for reader in project.global_readers(module.rel_path, name)
+                    if reader.key in worker_reach
+                ]
+                if not readers:
+                    continue
+                reader = min(readers, key=lambda f: (f.module.rel_path, f.qualname))
+                findings.append(
+                    self.finding(
+                        module,
+                        symbols.global_nodes[name],
+                        f"module global {name} holds {label} and is read by "
+                        f"pool-worker code ({reader.qualname}); state "
+                        "inherited across fork() is silently shared or "
+                        "stale — create it inside the worker or ship it "
+                        "via the pool initializer",
+                    )
+                )
+        return findings
+
+
+class ThreadSharedMutation(Rule):
+    """REPRO012 — thread-shared attributes are written under a lock.
+
+    The service runs real threads: the drain loop, the work queue's
+    heartbeat, and one HTTP handler per request. An attribute written
+    both on a thread path and from ordinary code without either write
+    holding the owning class's lock is a data race — exactly the
+    ``CampaignService._active`` / ``_last_error`` shape PR 8 guards
+    with ``self._lock``.
+    """
+
+    rule_id = "REPRO012"
+    title = "attributes shared between thread and non-thread paths need the owner's lock"
+    rationale = (
+        "PR 8: the drain loop and HTTP handlers mutate service state "
+        "concurrently; every shared write goes through self._lock"
+    )
+    scope = ("*.py",)
+
+    _LOCK_CTOR_TAILS = frozenset({"Lock", "RLock", "Condition"})
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        owners: dict[int, tuple[ClassInfo, list[FunctionInfo]]] = {}
+        for entry in project.entry_points():
+            cls = entry.function.cls
+            if entry.kind != "thread" or cls is None:
+                continue
+            owners.setdefault(id(cls), (cls, []))[1].append(entry.function)
+        for cls, entry_methods in owners.values():
+            if not self.applies_to(cls.module.rel_path):
+                continue
+            thread_keys = project.reachable_from(entry_methods)
+            lock_attrs = self._lock_attrs(cls)
+            lock_contexts = {f"self.{attr}" for attr in lock_attrs}
+            writes: dict[str, list[tuple[ast.stmt, bool, FunctionInfo, bool]]] = {}
+
+            def record(
+                attr: str, stmt: ast.stmt, locked: bool, method: FunctionInfo
+            ) -> None:
+                writes.setdefault(attr, []).append(
+                    (stmt, locked, method, method.key in thread_keys)
+                )
+
+            for method in cls.methods.values():
+                if method.name == "__init__":
+                    continue
+                self._walk_writes(
+                    method.node.body, False, lock_contexts, method, record
+                )
+            for attr in sorted(writes):
+                if attr in lock_attrs:
+                    continue
+                unlocked_thread = [
+                    w for w in writes[attr] if w[3] and not w[1]
+                ]
+                unlocked_other = [
+                    w for w in writes[attr] if not w[3] and not w[1]
+                ]
+                if not (unlocked_thread and unlocked_other):
+                    continue
+                stmt, _, method, _ = unlocked_thread[0]
+                _, _, other, _ = unlocked_other[0]
+                findings.append(
+                    self.finding(
+                        cls.module,
+                        stmt,
+                        f"self.{attr} is written on the thread path "
+                        f"({cls.name}.{method.name}, a thread/handler entry "
+                        f"path) and from non-thread code ({cls.name}."
+                        f"{other.name}, line {unlocked_other[0][0].lineno}) "
+                        "with neither write holding a lock; guard both "
+                        "sides with the class's lock",
+                    )
+                )
+        return findings
+
+    def _lock_attrs(self, cls: ClassInfo) -> set[str]:
+        init = cls.methods.get("__init__")
+        attrs: set[str] = set()
+        if init is None:
+            return attrs
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func).rsplit(".", 1)[-1]
+                in self._LOCK_CTOR_TAILS
+            ):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        return attrs
+
+    def _walk_writes(
+        self,
+        stmts: Iterable[ast.stmt],
+        locked: bool,
+        lock_contexts: set[str],
+        method: FunctionInfo,
+        record: "object",
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs get their own story
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                holds = locked or any(
+                    dotted_name(item.context_expr) in lock_contexts
+                    for item in stmt.items
+                )
+                self._walk_writes(stmt.body, holds, lock_contexts, method, record)
+                continue
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value  # self.x[k] = v mutates self.x
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    record(base.attr, stmt, locked, method)  # type: ignore[operator]
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field, None)
+                if inner:
+                    self._walk_writes(inner, locked, lock_contexts, method, record)
+            for handler in getattr(stmt, "handlers", None) or []:
+                self._walk_writes(handler.body, locked, lock_contexts, method, record)
+
+
+class ResourceHygiene(Rule):
+    """REPRO013 — handles in service-reachable code cannot escape.
+
+    Workers and handler threads run for the life of the service; a
+    file handle that escapes ``with``/``try-finally`` there is not
+    cleaned up "soon" by refcounting — it survives exceptions and
+    accumulates until the process hits the descriptor limit mid-
+    campaign. Ownership transfer (returning the handle) is the one
+    sanctioned escape: the caller is then on the hook.
+    """
+
+    rule_id = "REPRO013"
+    title = "open()/NamedTemporaryFile in service-reachable code must use with/try-finally"
+    rationale = (
+        "PR 8: the service is long-lived; leaked descriptors in worker "
+        "or handler paths accumulate until open() itself fails"
+    )
+    scope = ("*.py",)
+
+    _RESOURCE_NAMES = frozenset(
+        {"open", "io.open", "os.fdopen", "gzip.open", "bz2.open", "lzma.open"}
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        reach = project.service_reachable()
+        for function in project.iter_functions():
+            if function.key not in reach:
+                continue
+            if not self.applies_to(function.module.rel_path):
+                continue
+            self._check_function(function, findings)
+        return findings
+
+    def _check_function(
+        self, function: FunctionInfo, out: list[Finding]
+    ) -> None:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(function.node):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not (
+                name in self._RESOURCE_NAMES
+                or name.rsplit(".", 1)[-1] in _FILE_CTORS
+            ):
+                continue
+            if self._managed(node, parents, function):
+                continue
+            out.append(
+                self.finding(
+                    function.module,
+                    node,
+                    f"{name}(...) escapes {function.qualname} without "
+                    "with/try-finally; this code is reachable from a "
+                    "service worker or handler thread, where a leaked "
+                    "handle survives until process exit — use a context "
+                    "manager (or return the handle to transfer ownership)",
+                )
+            )
+
+    def _managed(
+        self,
+        call: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+        function: FunctionInfo,
+    ) -> bool:
+        parent = parents.get(call)
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Return):
+            return True  # ownership transferred to the caller
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and function.cls is not None
+                    and any(
+                        hook in function.cls.methods
+                        for hook in ("close", "__exit__", "__del__")
+                    )
+                ):
+                    return True  # instance owns it; its close() releases
+            names = [
+                name
+                for target in parent.targets
+                for name in assigned_names(target)
+            ]
+            for name in names:
+                if self._used_as_context(function.node, name):
+                    return True
+                if self._closed_in_finally(function.node, name):
+                    return True
+                if self._returned(function, name):
+                    return True
+        return False
+
+    @staticmethod
+    def _used_as_context(func: ast.AST, name: str) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return True
+                if isinstance(expr, ast.Call) and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in expr.args
+                ):
+                    return True  # with contextlib.closing(handle):
+        return False
+
+    @staticmethod
+    def _closed_in_finally(func: ast.AST, name: str) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and dotted_name(sub.func) == f"{name}.close"
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _returned(function: FunctionInfo, name: str) -> bool:
+        return any(
+            isinstance(value, ast.Name) and value.id == name
+            for value in function.dataflow.returns
+        )
+
+
+class ExportIntegrity(Rule):
+    """REPRO014 — ``__all__`` stays truthful as surfaces move.
+
+    Package ``__init__`` modules re-export aggressively (PR 4 made the
+    registry surface importable from ``repro``); a symbol renamed in
+    its home module but left in ``__all__`` breaks star-imports with a
+    late AttributeError and quietly rots the documented surface. A
+    module-level ``__getattr__`` counts as defining everything —
+    ``repro.core`` lazy-loads exactly this way.
+    """
+
+    rule_id = "REPRO014"
+    title = "__all__ names must be defined, unique, and re-exports must resolve"
+    rationale = (
+        "PR 4/8: the package surface is re-export-heavy; __all__ drift "
+        "is invisible until a star-import or doc build fails"
+    )
+    scope = ("*.py",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            if not self.applies_to(module.rel_path):
+                continue
+            symbols = project.symbols[module.rel_path]
+            if symbols.all_names is None:
+                continue
+            node: ast.AST = symbols.all_node or module.tree
+            seen: set[str] = set()
+            for name in symbols.all_names:
+                if name in seen:
+                    findings.append(
+                        self.finding(
+                            module, node, f"duplicate name {name!r} in __all__"
+                        )
+                    )
+                    continue
+                seen.add(name)
+                if not symbols.defines(name):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"{name!r} is exported in __all__ but not defined "
+                            "in the module (dead export)",
+                        )
+                    )
+                    continue
+                entry = symbols.imports.get(name)
+                if entry is None:
+                    continue
+                source_dotted, original = entry
+                if original is None:
+                    continue
+                source = project.resolve_module(source_dotted)
+                if source is not None and not source.defines(original):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"re-export drift: __all__ exports {name!r} but "
+                            f"{source_dotted} no longer defines {original!r}",
+                        )
+                    )
+        return findings
+
+
 def _register_builtins() -> None:
     for rule_cls in (
         IntegerCounterPurity,
@@ -869,6 +1406,10 @@ def _register_builtins() -> None:
         StreamingCarry,
         KernelBackendEncapsulation,
         SqliteEncapsulation,
+        ForkSafety,
+        ThreadSharedMutation,
+        ResourceHygiene,
+        ExportIntegrity,
     ):
         register_rule(rule_cls(), replace=True)
 
