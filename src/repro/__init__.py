@@ -56,7 +56,13 @@ from repro.core import (
     simulate_stream,
     summarize,
 )
-from repro.analysis import pareto_front, stream_sweep, sweep
+from repro.analysis import (
+    SearchSpec,
+    pareto_front,
+    search_sweep,
+    stream_sweep,
+    sweep,
+)
 from repro.campaign import (
     CampaignResult,
     CampaignSpec,
@@ -136,6 +142,8 @@ __all__ = [
     "FineGrainEngine",
     "sweep",
     "stream_sweep",
+    "search_sweep",
+    "SearchSpec",
     "pareto_front",
     "estimate_overhead",
     "profile_trace",

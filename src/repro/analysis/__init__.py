@@ -1,12 +1,51 @@
 """Design-space analysis utilities.
 
 * :mod:`repro.analysis.sweep` — declarative parameter sweeps over the
-  simulator with structured, filterable results;
+  simulator with structured, filterable results, plus strategy-guided
+  sweeps that let the analytical estimator prune the grid;
+* :mod:`repro.analysis.planner` — the fidelity-tiered execution
+  planner: grid planning, :class:`SearchSpec` parsing and the pluggable
+  search-strategy registry;
 * :mod:`repro.analysis.pareto` — Pareto-front extraction for the
   energy/lifetime trade-off space the paper's Section V frames.
 """
 
 from repro.analysis.pareto import pareto_front
-from repro.analysis.sweep import SweepPoint, SweepResult, stream_sweep, sweep
+from repro.analysis.planner import (
+    PlanContext,
+    PlannedGrid,
+    SearchOutcome,
+    SearchSpec,
+    SearchStrategy,
+    get_strategy,
+    plan_grid,
+    register_strategy,
+    strategy_names,
+)
+from repro.analysis.sweep import (
+    SearchSweepResult,
+    SweepPoint,
+    SweepResult,
+    search_sweep,
+    stream_sweep,
+    sweep,
+)
 
-__all__ = ["sweep", "stream_sweep", "SweepPoint", "SweepResult", "pareto_front"]
+__all__ = [
+    "sweep",
+    "stream_sweep",
+    "search_sweep",
+    "SweepPoint",
+    "SweepResult",
+    "SearchSweepResult",
+    "pareto_front",
+    "PlanContext",
+    "PlannedGrid",
+    "SearchOutcome",
+    "SearchSpec",
+    "SearchStrategy",
+    "plan_grid",
+    "get_strategy",
+    "register_strategy",
+    "strategy_names",
+]

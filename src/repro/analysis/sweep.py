@@ -27,11 +27,19 @@ longer re-pickles it per chunk.
 
 from __future__ import annotations
 
-import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.aging.lut import LifetimeLUT
+from repro.analysis.planner import (
+    PlanContext,
+    PlannedGrid,
+    SearchOutcome,
+    SearchSpec,
+    breakeven_group_ids,
+    get_strategy,
+    plan_grid,
+)
 from repro.core.config import ArchitectureConfig
 from repro.core.engine import resolve_engine, validate_engine
 from repro.core.plan import TracePlan
@@ -151,25 +159,11 @@ def _simulate_chunk(payload) -> list[SimulationResult]:
     )
 
 
-def _breakeven_group_ids(names: list[str], axes: dict[str, list]) -> list[int] | None:
-    """Group id per grid point; equal ids differ only in breakeven.
-
-    ``None`` when the grid has no ``breakeven_override`` axis (each
-    point is then its own group). Ids are the point's flat grid index
-    with the breakeven coordinate zeroed, so membership needs no
-    hashing of axis values (which may be arbitrary objects).
-    """
-    if "breakeven_override" not in names:
-        return None
-    breakeven_axis = names.index("breakeven_override")
-    sizes = [len(axes[name]) for name in names]
-    ids = []
-    for coords in itertools.product(*(range(size) for size in sizes)):
-        flat = 0
-        for axis, coord in enumerate(coords):
-            flat = flat * sizes[axis] + (0 if axis == breakeven_axis else coord)
-        ids.append(flat)
-    return ids
+#: Historical alias: the group-id derivation moved to the planner layer
+#: (:func:`repro.analysis.planner.breakeven_group_ids`) so campaigns and
+#: sweeps can never disagree about batching; existing imports keep
+#: working.
+_breakeven_group_ids = breakeven_group_ids
 
 
 def _simulate_combos(
@@ -338,18 +332,9 @@ def simulate_selected(
 
 
 def _grid(axes: dict[str, list]) -> tuple[list[str], list[tuple]]:
-    """Validated axis names and their cartesian product."""
-    if not axes:
-        raise ConfigurationError("sweep needs at least one axis")
-    field_names = {f for f in ArchitectureConfig.__dataclass_fields__}
-    for name in axes:
-        if name not in field_names:
-            raise ConfigurationError(
-                f"{name!r} is not an ArchitectureConfig field"
-            )
-    names = list(axes)
-    combos = list(itertools.product(*(axes[name] for name in names)))
-    return names, combos
+    """Validated axis names and their cartesian product (planner-backed)."""
+    grid = plan_grid(axes)
+    return list(grid.names), list(grid.combos)
 
 
 def stream_sweep(
@@ -450,3 +435,108 @@ def sweep(
         for combo, result in zip(combos, results)
     )
     return SweepResult(points=points)
+
+
+@dataclass(frozen=True)
+class SearchSweepResult:
+    """Outcome of a strategy-guided sweep (see :func:`search_sweep`).
+
+    ``simulated`` holds the full-fidelity points the strategy chose (a
+    subset of the grid, in grid order); ``estimates`` holds every
+    estimate-fidelity point the strategy consulted (empty for
+    ``exhaustive``). ``outcome`` records the raw grid indices per tier.
+    """
+
+    search: SearchSpec
+    simulated: SweepResult
+    estimates: SweepResult
+    outcome: SearchOutcome
+
+    @property
+    def simulations_avoided(self) -> int:
+        """Grid points that never paid full simulation."""
+        return len(set(self.outcome.estimated) - set(self.outcome.simulated))
+
+
+def search_sweep(
+    base: ArchitectureConfig,
+    trace: Trace,
+    axes: dict[str, list],
+    search: SearchSpec | str | None = None,
+    lut: LifetimeLUT | None = None,
+    engine: str = "auto",
+    parallel: int | None = None,
+) -> SearchSweepResult:
+    """Strategy-guided :func:`sweep`: simulate only what the search asks.
+
+    ``search`` selects and tunes the strategy (a
+    :class:`~repro.analysis.planner.SearchSpec`, a bare strategy name,
+    or ``None`` for exhaustive). Estimates come from the ``"estimate"``
+    fidelity tier (:mod:`repro.estimate`); simulations run through
+    :func:`simulate_selected` with the usual plan sharing, breakeven
+    batching over the surviving subset, and ``parallel`` fan-out.
+    Simulated points are bit-identical to a full :func:`sweep`'s points
+    at the same grid positions.
+    """
+    if search is None:
+        spec = SearchSpec()
+    elif isinstance(search, str):
+        spec = SearchSpec(strategy=search)
+    else:
+        spec = search
+    validate_engine(engine)
+    grid: PlannedGrid = plan_grid(axes)
+    shared_lut = lut if lut is not None else LifetimeLUT.default()
+    plan = TracePlan(trace)
+    simulated: dict[int, SimulationResult] = {}
+    estimated: dict[int, SimulationResult] = {}
+
+    def run_simulate(indices):
+        chosen = [int(i) for i in indices]
+        results = simulate_selected(
+            base,
+            trace,
+            list(grid.names),
+            [grid.combos[i] for i in chosen],
+            group_ids=grid.subset_group_ids(chosen),
+            lut=shared_lut,
+            engine=engine,
+            parallel=parallel,
+            plan=plan,
+        )
+        for index, result in zip(chosen, results):
+            simulated[index] = result
+        return results
+
+    def run_estimate(indices):
+        from repro.core.engine import get_engine
+
+        estimator = get_engine("estimate")
+        results = []
+        for index in (int(i) for i in indices):
+            config = replace(base, **grid.parameters(index))
+            result = estimator.run(config, trace, lut=shared_lut, plan=plan)
+            estimated[index] = result
+            results.append(result)
+        return results
+
+    context = PlanContext(
+        grid=grid, search=spec, simulate=run_simulate, estimate=run_estimate
+    )
+    outcome = get_strategy(spec.strategy).select(context)
+    return SearchSweepResult(
+        search=spec,
+        simulated=SweepResult(
+            points=tuple(
+                SweepPoint(parameters=grid.parameters(i), result=simulated[i])
+                for i in outcome.simulated
+            )
+        ),
+        estimates=SweepResult(
+            points=tuple(
+                SweepPoint(parameters=grid.parameters(i), result=estimated[i])
+                for i in outcome.estimated
+            )
+        ),
+        outcome=outcome,
+    )

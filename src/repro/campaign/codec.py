@@ -239,8 +239,10 @@ def config_hash(config: ArchitectureConfig) -> str:
     return content_hash(config_to_dict(config))
 
 
-def config_result_hash(config: ArchitectureConfig, family: str = "banked") -> str:
-    """Identity of *a result* for ``config`` under a result family.
+def config_result_hash(
+    config: ArchitectureConfig, family: str = "banked", fidelity: str = "simulate"
+) -> str:
+    """Identity of *a result* for ``config`` under a result family/fidelity.
 
     Engines in the default ``"banked"`` family (fast, reference, auto)
     are bit-identical by construction, so their identity is plain
@@ -248,8 +250,17 @@ def config_result_hash(config: ArchitectureConfig, family: str = "banked") -> st
     before families existed. Engines that simulate a different machine
     (e.g. ``finegrain``) mix their family into the hash so their
     records never alias banked ones for the same configuration.
+
+    ``fidelity`` works the same way one level up: the default
+    ``"simulate"`` tier leaves the hash untouched (byte-compatible with
+    every store written before fidelity tiers existed), while estimated
+    results mix their tier into the hash — an estimate can never alias
+    or satisfy a simulated record, whatever the family.
     """
     base = config_hash(config)
-    if family == "banked":
-        return base
-    return content_hash({"family": family, "config_hash": base})
+    result = base if family == "banked" else content_hash(
+        {"family": family, "config_hash": base}
+    )
+    if fidelity == "simulate":
+        return result
+    return content_hash({"fidelity": fidelity, "config_hash": result})

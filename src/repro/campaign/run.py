@@ -29,6 +29,7 @@ import os
 from dataclasses import dataclass
 
 from repro.aging.lut import LifetimeLUT
+from repro.analysis.planner import PlanContext, SearchSpec, get_strategy, plan_grid
 from repro.analysis.sweep import _breakeven_group_ids, simulate_selected
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
@@ -54,12 +55,20 @@ class CampaignPoint:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """All points of one campaign run, plus what the run actually did."""
+    """All points of one campaign run, plus what the run actually did.
+
+    ``estimated`` counts fresh estimator evaluations performed by a
+    guided (non-exhaustive) run; exhaustive runs never estimate. For a
+    guided run ``points`` holds only the grid points with a
+    *simulated* record (survivors plus anything already stored) — the
+    estimated tier lives in the store under its own keys.
+    """
 
     spec: CampaignSpec
     points: tuple[CampaignPoint, ...]
     simulated: int
     reused: int
+    estimated: int = 0
 
     def __len__(self) -> int:
         return len(self.points)
@@ -75,10 +84,17 @@ class CampaignResult:
 
 @dataclass(frozen=True)
 class CampaignStatus:
-    """Store coverage of a spec without running anything."""
+    """Store coverage of a spec without running anything.
+
+    ``estimated`` counts grid points covered at the *estimate* fidelity
+    tier (guided runs screen points there first); ``done`` counts only
+    the spec's own fidelity — an estimated record never satisfies a
+    simulating spec's point.
+    """
 
     total: int
     done: int
+    estimated: int = 0
 
     @property
     def missing(self) -> int:
@@ -116,11 +132,14 @@ def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
     """How much of ``spec`` the store already holds."""
     total = 0
     done = 0
+    estimated = 0
     for point in spec.points():
         total += 1
         if point.key() in store:
             done += 1
-    return CampaignStatus(total=total, done=done)
+        if point.fidelity != "estimate" and point.key_at("estimate") in store:
+            estimated += 1
+    return CampaignStatus(total=total, done=done, estimated=estimated)
 
 
 def status_payload(spec: CampaignSpec, store: CampaignStore) -> dict:
@@ -138,6 +157,8 @@ def status_payload(spec: CampaignSpec, store: CampaignStore) -> dict:
         "total": status.total,
         "done": status.done,
         "missing": status.missing,
+        "estimated": status.estimated,
+        "strategy": spec.search.strategy if spec.search is not None else "exhaustive",
         "traces": len(spec.traces),
         "points_per_trace": len(spec.combos()),
     }
@@ -172,6 +193,141 @@ def _collect_points(spec: CampaignSpec, store: CampaignStore) -> tuple[CampaignP
     return tuple(collected)
 
 
+def _resolve_search(
+    spec: CampaignSpec, search: "SearchSpec | str | None"
+) -> SearchSpec | None:
+    """The effective search block: call-site override, then the spec's.
+
+    Returns ``None`` for exhaustive execution (also when the resolved
+    block names the ``exhaustive`` strategy — that *is* the classic
+    path, bit-identically).
+    """
+    if search is None:
+        search = spec.search
+    elif isinstance(search, str):
+        search = SearchSpec(strategy=search)
+    if search is None or search.strategy == "exhaustive":
+        return None
+    return search
+
+
+def _run_guided(
+    spec: CampaignSpec,
+    store: CampaignStore,
+    search: SearchSpec,
+    lut: LifetimeLUT,
+    parallel: int | None,
+) -> CampaignResult:
+    """Strategy-guided execution: estimate the grid, simulate survivors.
+
+    Every estimator evaluation is persisted under the point's
+    *estimate*-fidelity key and every simulation under its plain
+    simulated key, so a guided run and an exhaustive run of the same
+    spec share simulated records — and a later exhaustive run only
+    fills in the points the strategy pruned.
+    """
+    from repro.core.engine import get_engine, result_family, result_fidelity
+    from repro.errors import ConfigurationError
+
+    if result_family(spec.engine) != "banked":
+        raise ConfigurationError(
+            f"guided search needs a banked-family engine — the estimator "
+            f"predicts the banked machine, so its screening is "
+            f"meaningless for {spec.engine!r}; run strategy 'exhaustive' "
+            "instead"
+        )
+    if result_fidelity(spec.engine) == "estimate":
+        raise ConfigurationError(
+            "guided search screens with the estimator and simulates "
+            "survivors; a campaign whose engine is already the "
+            "estimator has nothing to prune — use strategy 'exhaustive'"
+        )
+
+    grid = plan_grid(spec.axes, allow_empty=True)
+    estimator = get_engine("estimate")
+
+    all_points: list[CampaignPoint] = []
+    simulated = 0
+    estimated = 0
+    reused = 0
+    for trace_spec in spec.traces:
+        points = spec.trace_points(trace_spec)
+        keys = [point.key() for point in points]
+        present = {i for i, key in enumerate(keys) if key in store}
+        reused += len(present)
+        if len(present) < len(points):
+            trace = trace_spec.build()
+            plan = TracePlan(trace)
+            est_keys = [point.key_at("estimate") for point in points]
+            counters = {"simulated": 0, "estimated": 0}
+
+            def run_estimate(indices, _trace=trace, _plan=plan,
+                             _points=points, _est_keys=est_keys,
+                             _counters=counters):
+                out = []
+                for i in indices:
+                    result = store.get_result(_est_keys[i], lut=lut)
+                    if result is None:
+                        result = estimator.run(
+                            _points[i].config, _trace, lut=lut, plan=_plan
+                        )
+                        store.put(_est_keys[i], result)
+                        _counters["estimated"] += 1
+                    out.append(result)
+                return out
+
+            def run_simulate(indices, _trace=trace, _plan=plan,
+                             _keys=keys, _counters=counters):
+                fresh = [i for i in indices if _keys[i] not in store]
+                if fresh:
+                    simulate_selected(
+                        spec.base,
+                        _trace,
+                        list(grid.names),
+                        [grid.combos[i] for i in fresh],
+                        group_ids=grid.subset_group_ids(fresh),
+                        lut=lut,
+                        engine=spec.engine,
+                        parallel=parallel,
+                        plan=_plan,
+                        on_result=lambda j, result: store.put(
+                            _keys[fresh[j]], result
+                        ),
+                    )
+                    _counters["simulated"] += len(fresh)
+                return [store.get_result(_keys[i], lut=lut) for i in indices]
+
+            context = PlanContext(
+                grid=grid,
+                search=search,
+                simulate=run_simulate,
+                estimate=run_estimate,
+            )
+            get_strategy(search.strategy).select(context)
+            simulated += counters["simulated"]
+            estimated += counters["estimated"]
+        for point, key in zip(points, keys):
+            record = store.get_record(key)
+            if record is None:
+                continue  # pruned by the strategy — no simulated record
+            all_points.append(
+                CampaignPoint(
+                    trace=trace_spec,
+                    parameters=point.parameters,
+                    trace_hash=key[0],
+                    config_hash=key[1],
+                    record=record,
+                )
+            )
+    return CampaignResult(
+        spec=spec,
+        points=tuple(all_points),
+        simulated=simulated,
+        reused=reused,
+        estimated=estimated,
+    )
+
+
 def run_campaign(
     spec: CampaignSpec,
     directory: str | os.PathLike | None = None,
@@ -179,6 +335,7 @@ def run_campaign(
     lut: LifetimeLUT | None = None,
     parallel: int | None = None,
     workers: int | None = None,
+    search: "SearchSpec | str | None" = None,
 ) -> CampaignResult:
     """Execute ``spec``, simulating only points absent from the store.
 
@@ -218,6 +375,15 @@ def run_campaign(
         committed, so several invocations — across processes or hosts
         sharing ``directory`` — drain one campaign without
         double-simulating. Requires a directory-backed store.
+    search:
+        Search strategy override: a
+        :class:`~repro.analysis.planner.SearchSpec`, a strategy name,
+        or ``None`` to use the spec's own ``search`` block (and
+        exhaustive execution when the spec has none). Anything other
+        than exhaustive routes through :func:`_run_guided`: the whole
+        grid is estimated (records persisted under estimate-fidelity
+        keys), the strategy picks survivors, and only those are
+        simulated.
 
     Returns
     -------
@@ -229,6 +395,25 @@ def run_campaign(
         store = CampaignStore(directory)
     shared_lut = lut if lut is not None else LifetimeLUT.default()
     _write_manifest(spec, store)
+
+    effective_search = _resolve_search(spec, search)
+    if effective_search is not None:
+        if workers is not None:
+            import warnings
+
+            from repro.errors import ReproWarning
+
+            # The claim queue leases points independently; a strategy
+            # decides *which* points to lease only after estimating, so
+            # guided runs stay single-process (parallelism still fans
+            # out inside each simulate batch).
+            warnings.warn(
+                "guided search ignores workers=…; running single-process "
+                "(simulate batches still honor parallel=…)",
+                ReproWarning,
+                stacklevel=2,
+            )
+        return _run_guided(spec, store, effective_search, shared_lut, parallel)
 
     if workers is not None:
         from repro.campaign.service.queue import drain_campaign

@@ -39,8 +39,8 @@ INDEX_FILENAME = "index.db"
 
 #: Bumped whenever the row schema changes; a mismatch triggers a
 #: rebuild from the record files (never a migration — files are the
-#: source of truth).
-SCHEMA_VERSION = 1
+#: source of truth). Version 2 added the ``fidelity`` column.
+SCHEMA_VERSION = 2
 
 #: Spec-axis columns extracted from each record's exact config payload.
 AXIS_COLUMNS: tuple[tuple[str, str], ...] = (
@@ -71,12 +71,27 @@ COLUMNS: tuple[str, ...] = (
     "path",
     "trace_name",
     "template",
+    "fidelity",
     *(name for name, _ in AXIS_COLUMNS),
     *(name for name, _ in METRIC_COLUMNS),
 )
 
 #: One indexed row: key fields + axes + metrics.
 Row = dict[str, Any]
+
+
+def resolve_fidelity_filter(filters: dict[str, Any]) -> dict[str, Any]:
+    """Apply the simulate-by-default fidelity policy to ``best`` filters.
+
+    Ranking queries default to ``fidelity="simulate"`` so estimated
+    records can never masquerade as measurements; ``fidelity="any"``
+    removes the filter to rank across tiers.
+    """
+    filters = dict(filters)
+    filters.setdefault("fidelity", "simulate")
+    if filters["fidelity"] == "any":
+        del filters["fidelity"]
+    return filters
 
 #: ``() -> iterable of rows`` used to rebuild a lost/corrupt index.
 RebuildSource = Callable[[], Iterable[Row]]
@@ -103,6 +118,7 @@ def index_row(
         "path": rel_path,
         "trace_name": record.get("trace_name"),
         "template": record.get("template", "banked"),
+        "fidelity": record.get("fidelity", "simulate"),
         "num_banks": _num(config.get("num_banks")),
         "policy": config.get("policy"),
         "power_managed": (
@@ -183,6 +199,7 @@ class CampaignIndex:
                 "  path TEXT NOT NULL",
                 "  trace_name TEXT",
                 "  template TEXT",
+                "  fidelity TEXT",
                 *(f"  {name} {sql_type}" for name, sql_type in AXIS_COLUMNS),
                 *(f"  {name} {sql_type}" for name, sql_type in METRIC_COLUMNS),
                 "  PRIMARY KEY (trace_hash, config_hash)",
@@ -364,7 +381,14 @@ class CampaignIndex:
 
         ``NULL`` metric values (v1 records, non-numeric payloads) never
         win. Returns ``None`` on an empty match set.
+
+        Unless the caller filters on ``fidelity`` explicitly, only
+        ``fidelity="simulate"`` rows compete: a cheap estimated record
+        must never answer a question about what the simulator measured.
+        Pass ``fidelity="estimate"`` to rank estimates, or
+        ``fidelity="any"`` to rank across tiers.
         """
+        filters = resolve_fidelity_filter(filters)
         if metric not in COLUMNS:
             raise ServiceError(
                 f"unknown index column {metric!r}; queryable: {', '.join(COLUMNS)}"

@@ -44,6 +44,7 @@ from repro.campaign.codec import (
     technology_from_dict,
     technology_to_dict,
 )
+from repro.analysis.planner import SearchSpec
 from repro.campaign.tracespec import TraceSpec
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import ArchitectureConfig
@@ -96,20 +97,28 @@ class CampaignPointSpec:
     ``family`` is the engine's *result family* (see
     :func:`repro.core.engine.result_family`): banked engines share
     store entries, engines simulating a different machine get their own
-    point identities.
+    point identities. ``fidelity`` is the engine's result fidelity
+    (:func:`repro.core.engine.result_fidelity`): estimated records key
+    separately from simulated ones, so a prediction can never satisfy —
+    or be overwritten by — a measurement of the same point.
     """
 
     trace: TraceSpec
     parameters: dict
     config: ArchitectureConfig
     family: str = "banked"
+    fidelity: str = "simulate"
+
+    def key_at(self, fidelity: str) -> tuple[str, str]:
+        """The store key this point would have at ``fidelity``."""
+        return (
+            self.trace.trace_hash(),
+            config_result_hash(self.config, self.family, fidelity),
+        )
 
     def key(self) -> tuple[str, str]:
         """The store key ``(trace_hash, result hash)``."""
-        return (
-            self.trace.trace_hash(),
-            config_result_hash(self.config, self.family),
-        )
+        return self.key_at(self.fidelity)
 
 
 @dataclass(frozen=True)
@@ -137,6 +146,13 @@ class CampaignSpec:
         entries are shared (``fast``/``reference``/``auto``); engines
         of a different family (``finegrain``) key their records
         separately.
+    search:
+        Optional :class:`~repro.analysis.planner.SearchSpec` describing
+        how the grid is explored. ``None`` (the default, and the only
+        value the pre-search spec format could express) means
+        exhaustive execution; a spec file opts in with a ``"search"``
+        block. Part of the spec hash only when present, so every
+        pre-existing spec file keeps its hash.
     """
 
     name: str
@@ -144,6 +160,7 @@ class CampaignSpec:
     base: ArchitectureConfig
     axes: dict = field(default_factory=dict)
     engine: str = "auto"
+    search: "SearchSpec | None" = None
 
     def __post_init__(self) -> None:
         # Registry-backed: any engine registered via register_engine()
@@ -167,6 +184,11 @@ class CampaignSpec:
             axes[axis_name] = values
         object.__setattr__(self, "axes", axes)
         validate_engine(self.engine)
+        if self.search is not None and not isinstance(self.search, SearchSpec):
+            raise CodecError(
+                "campaign 'search' must be a SearchSpec (or None for "
+                f"exhaustive), got {type(self.search).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # Grid expansion
@@ -192,10 +214,11 @@ class CampaignSpec:
         is invalid (e.g. a dynamic policy with one bank) — a campaign
         grid must be fully valid before anything runs.
         """
-        from repro.core.engine import result_family
+        from repro.core.engine import result_family, result_fidelity
 
         names = self.axis_names
         family = result_family(self.engine)
+        fidelity = result_fidelity(self.engine)
         points = []
         for combo in self.combos():
             parameters = dict(zip(names, combo))
@@ -205,6 +228,7 @@ class CampaignSpec:
                     parameters=parameters,
                     config=replace(self.base, **parameters),
                     family=family,
+                    fidelity=fidelity,
                 )
             )
         return points
@@ -225,8 +249,13 @@ class CampaignSpec:
     # Codec
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Canonical JSON-shaped form (defaults explicit)."""
-        return {
+        """Canonical JSON-shaped form (defaults explicit).
+
+        The ``"search"`` key appears only when a search block is set:
+        a spec without one encodes exactly as the pre-search format
+        did, keeping every existing spec file's hash stable.
+        """
+        payload = {
             "version": SPEC_FORMAT_VERSION,
             "name": self.name,
             "engine": self.engine,
@@ -237,6 +266,9 @@ class CampaignSpec:
                 for name, values in self.axes.items()
             },
         }
+        if self.search is not None:
+            payload["search"] = self.search.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignSpec":
@@ -248,7 +280,9 @@ class CampaignSpec:
         version = payload.get("version", SPEC_FORMAT_VERSION)
         if version != SPEC_FORMAT_VERSION:
             raise CodecError(f"unsupported campaign spec version {version!r}")
-        unknown = set(payload) - {"version", "name", "engine", "traces", "base", "axes"}
+        unknown = set(payload) - {
+            "version", "name", "engine", "traces", "base", "axes", "search",
+        }
         if unknown:
             raise CodecError(f"unknown campaign spec fields: {sorted(unknown)}")
         traces = payload.get("traces")
@@ -263,12 +297,20 @@ class CampaignSpec:
             name: [_decode_axis_value(name, v) for v in values]
             for name, values in axes_payload.items()
         }
+        search_payload = payload.get("search")
+        if search_payload is not None and not isinstance(search_payload, dict):
+            raise CodecError("campaign 'search' must be a dict block")
         return cls(
             name=str(payload.get("name", "")),
             traces=tuple(TraceSpec.from_dict(t) for t in traces),
             base=config_from_dict(payload["base"]),
             axes=axes,
             engine=str(payload.get("engine", "auto")),
+            search=(
+                SearchSpec.from_dict(search_payload)
+                if search_payload is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

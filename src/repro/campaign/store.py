@@ -50,6 +50,7 @@ from repro.campaign.service.index import (
     CampaignIndex,
     Row,
     index_row,
+    resolve_fidelity_filter,
 )
 from repro.errors import ServiceError
 from repro.core.results import SimulationResult
@@ -320,10 +321,16 @@ class CampaignStore:
     def best(
         self, metric: str, minimize: bool = False, **filters: Any
     ) -> Row | None:
-        """The indexed row extremizing ``metric`` among ``filters`` matches."""
+        """The indexed row extremizing ``metric`` among ``filters`` matches.
+
+        Defaults to ``fidelity="simulate"`` rows (estimated records
+        never win a measurement query); pass ``fidelity="estimate"`` or
+        ``fidelity="any"`` to rank other tiers.
+        """
         index = self._ready_index()
         if index is not None:
             return index.best(metric, minimize=minimize, **filters)
+        filters = resolve_fidelity_filter(filters)
         self._check_columns([metric])
         rows = [row for row in self.where(**filters) if row.get(metric) is not None]
         if not rows:

@@ -460,13 +460,122 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             directory=args.dir or None,
             parallel=args.parallel,
             workers=args.workers,
+            search=args.strategy,
         )
+        estimated = f", estimated {result.estimated}" if result.estimated else ""
         print(
             f"{spec.name or args.spec}: {len(result)} points, "
-            f"simulated {result.simulated}, reused {result.reused}"
+            f"simulated {result.simulated}, reused {result.reused}{estimated}"
             + (f" (store: {args.dir})" if args.dir else " (in memory)")
         )
         _render_records(result.records)
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace stats``: characterize a benchmark or a trace file."""
+    import json
+    import os
+
+    from repro.cache.geometry import CacheGeometry
+    from repro.errors import ReproError
+    from repro.trace.stats import describe_profile, profile_trace
+
+    try:
+        geometry = CacheGeometry(args.size * 1024, args.line_size)
+        if os.path.isfile(args.workload):
+            from repro.trace.io import load_trace
+
+            trace = load_trace(args.workload)
+        else:
+            from repro.trace.generator import WorkloadGenerator
+            from repro.trace.mediabench import profile_for
+
+            kwargs = {} if args.windows is None else {"num_windows": args.windows}
+            generator = WorkloadGenerator(geometry, **kwargs)
+            trace = generator.generate(profile_for(args.workload))
+        profile = profile_trace(trace, geometry, num_banks=args.banks)
+        if args.json:
+            payload = {
+                "workload": args.workload,
+                "size_bytes": geometry.size_bytes,
+                "line_size": geometry.line_size,
+                "num_banks": args.banks,
+                "accesses": profile.accesses,
+                "horizon": profile.horizon,
+                "access_density": profile.access_density,
+                "distinct_lines": profile.distinct_lines,
+                "footprint_bytes": profile.footprint_bytes,
+                "bank_shares": list(profile.bank_shares),
+                "gap_percentiles": {
+                    str(q): v for q, v in profile.gap_percentiles.items()
+                },
+                "reuse_distance_median": (
+                    None
+                    if profile.reuse_distance_median == float("inf")
+                    else profile.reuse_distance_median
+                ),
+                "bank_gap_histograms": [
+                    [list(triple) for triple in bank]
+                    for bank in profile.bank_gap_histograms
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(
+                f"{args.workload} on a {args.size}kB cache "
+                f"({args.banks} banks):"
+            )
+            print(describe_profile(profile))
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    """``repro estimate validate``: score the estimator vs simulation."""
+    import json
+
+    from repro.cache.geometry import CacheGeometry
+    from repro.core.config import ArchitectureConfig
+    from repro.errors import ReproError
+    from repro.estimate.validate import validate_estimator
+    from repro.trace.generator import WorkloadGenerator
+    from repro.trace.mediabench import profile_for
+
+    try:
+        geometry = CacheGeometry(args.size * 1024, args.line_size)
+        base = ArchitectureConfig(geometry=geometry, num_banks=4, policy="static")
+        axes: dict = {}
+        if args.banks:
+            axes["num_banks"] = [int(v) for v in args.banks.split(",")]
+        if args.policies:
+            axes["policy"] = args.policies.split(",")
+        if args.breakevens:
+            axes["breakeven_override"] = [
+                None if v == "none" else int(v) for v in args.breakevens.split(",")
+            ]
+        if not axes:
+            axes["num_banks"] = [2, 4, 8]
+        generator = WorkloadGenerator(geometry, num_windows=args.windows)
+        traces = [
+            generator.generate(profile_for(name))
+            for name in args.benchmarks.split(",")
+        ]
+        report = validate_estimator(
+            base, traces, axes, engine=args.engine, parallel=args.parallel
+        )
+        rendered = json.dumps(report, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"wrote {args.output}")
+        if args.json or not args.output:
+            print(rendered)
         return 0
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -575,6 +684,72 @@ def main(argv: list[str] | None = None) -> int:
     p_prof.add_argument("benchmark", help="benchmark name (e.g. adpcm.dec)")
     p_prof.add_argument("--size", type=int, default=16, help="cache size in kB")
 
+    p_trace = sub.add_parser(
+        "trace", help="trace utilities (statistics used by the estimator)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tstats = trace_sub.add_parser(
+        "stats",
+        help="profile a workload: shares, gaps, footprint, reuse distance",
+    )
+    p_tstats.add_argument(
+        "workload", help="benchmark name (e.g. dijkstra) or a trace file path"
+    )
+    p_tstats.add_argument("--size", type=int, default=16, help="cache size in kB")
+    p_tstats.add_argument("--line-size", type=int, default=16, help="line size in bytes")
+    p_tstats.add_argument("--banks", type=int, default=4, help="bank split M")
+    p_tstats.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        help="schedule windows for a generated benchmark workload "
+        "(ignored for trace files; default: the generator's full run)",
+    )
+    p_tstats.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable profile (includes per-bank gap histograms)",
+    )
+
+    p_est = sub.add_parser(
+        "estimate", help="the closed-form analytical fidelity tier"
+    )
+    est_sub = p_est.add_subparsers(dest="estimate_command", required=True)
+    p_eval = est_sub.add_parser(
+        "validate",
+        help="score the estimator against full simulation over a grid",
+    )
+    p_eval.add_argument(
+        "--benchmarks",
+        default="dijkstra,susan,adpcm.dec",
+        help="comma-separated benchmark workloads",
+    )
+    p_eval.add_argument("--size", type=int, default=16, help="cache size in kB")
+    p_eval.add_argument("--line-size", type=int, default=16, help="line size in bytes")
+    p_eval.add_argument(
+        "--banks", default="2,4,8", help="comma-separated num_banks axis"
+    )
+    p_eval.add_argument(
+        "--policies", default="", help="comma-separated policy axis"
+    )
+    p_eval.add_argument(
+        "--breakevens",
+        default="",
+        help="comma-separated breakeven_override axis ('none' for computed)",
+    )
+    p_eval.add_argument(
+        "--windows", type=int, default=300, help="workload schedule windows"
+    )
+    p_eval.add_argument(
+        "--parallel", type=int, default=None, help="worker processes for the grid"
+    )
+    p_eval.add_argument(
+        "--json", action="store_true", help="print the JSON report (default unless --output)"
+    )
+    p_eval.add_argument(
+        "--output", default="", help="also write the JSON report to this file"
+    )
+
     p_sweep = sub.add_parser(
         "sweep", help="design-space sweep (shared trace-plan engine)"
     )
@@ -637,6 +812,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="claim-loop worker processes (work-queue drain: leased claims, "
         "safe across concurrent invocations sharing --dir; requires --dir)",
+    )
+    from repro.analysis.planner import strategy_names
+
+    p_run.add_argument(
+        "--strategy",
+        choices=list(strategy_names()),
+        default=None,
+        help="search strategy override: estimator-guided strategies "
+        "estimate the whole grid, then simulate only the survivors "
+        "(default: the spec's own 'search' block, else exhaustive)",
     )
 
     p_status = camp_sub.add_parser("status", help="store coverage of a spec")
@@ -721,6 +906,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "campaign":

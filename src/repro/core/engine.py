@@ -66,6 +66,14 @@ class Engine:
         records. An engine simulating a different machine declares its
         own family and its campaign points get distinct store
         identities.
+    fidelity:
+        Execution fidelity tier. ``"simulate"`` engines replay the
+        trace and are mutually substitutable within a family;
+        ``"estimate"`` engines predict metrics from trace statistics
+        (closed-form, no replay) and their records must never alias or
+        satisfy simulated ones. ``engine="auto"`` never picks a
+        non-``"simulate"`` engine — the registry enforces that
+        non-simulate engines are not auto-eligible.
 
     Subclasses (or any duck-typed object carrying the same attributes)
     implement :meth:`supports` and :meth:`run`; engines with a batched
@@ -97,6 +105,7 @@ class Engine:
     auto_eligible: bool = True
     requires: str = ""
     family: str = "banked"
+    fidelity: str = "simulate"
 
     def supports(self, config: ArchitectureConfig) -> bool:
         """Whether this engine can simulate ``config``."""
@@ -119,7 +128,7 @@ _builtins_loaded = False
 #: Names the lazily imported built-in modules register themselves;
 #: everything else is a plugin that worker processes must be handed
 #: explicitly (see :func:`custom_engines` / :func:`install_engines`).
-_BUILTIN_ENGINE_NAMES = frozenset({"fast", "reference", "finegrain", "compiled"})
+_BUILTIN_ENGINE_NAMES = frozenset({"fast", "reference", "finegrain", "compiled", "estimate"})
 
 #: The actual built-in instances, captured at their registration — a
 #: replace=True override of a built-in name is then still recognized
@@ -137,6 +146,7 @@ def _ensure_builtins() -> None:
     import repro.core.fastsim  # noqa: F401  (registers "fast")
     import repro.finegrain.engine  # noqa: F401  (registers "finegrain")
     import repro.kernels.engine  # noqa: F401  (registers "compiled")
+    import repro.estimate.engine  # noqa: F401  (registers "estimate")
 
 
 def register_engine(engine: Engine, replace: bool = False) -> None:
@@ -163,6 +173,14 @@ def register_engine(engine: Engine, replace: bool = False) -> None:
             f"engine {name!r}: auto-eligible engines must produce the "
             f"'banked' result family (got {family!r}); set "
             "auto_eligible=False or family='banked'"
+        )
+    fidelity = getattr(engine, "fidelity", "simulate")
+    if getattr(engine, "auto_eligible", True) and fidelity != "simulate":
+        # 'auto' promises trace-accurate simulation; an auto-pickable
+        # estimator would silently substitute predictions for replay.
+        raise ConfigurationError(
+            f"engine {name!r}: auto-eligible engines must have fidelity "
+            f"'simulate' (got {fidelity!r}); set auto_eligible=False"
         )
     if not replace and name in _REGISTRY:
         raise ConfigurationError(
@@ -261,6 +279,17 @@ def result_family(engine: str) -> str:
     if engine == "auto":
         return "banked"
     return getattr(get_engine(engine), "family", "banked")
+
+
+def result_fidelity(engine: str) -> str:
+    """The fidelity tier an engine selector produces.
+
+    ``"auto"`` is ``"simulate"``: non-simulate engines can never be
+    auto-eligible (enforced at registration).
+    """
+    if engine == "auto":
+        return "simulate"
+    return getattr(get_engine(engine), "fidelity", "simulate")
 
 
 def resolve_engine(engine: str, config: ArchitectureConfig) -> Engine:

@@ -55,6 +55,11 @@ class SimulationResult:
         engine-provided payloads); see :meth:`metric`.
     template:
         Counter template: ``"banked"`` or ``"finegrain"``.
+    fidelity:
+        Execution fidelity tier: ``"simulate"`` for trace-replayed
+        results, ``"estimate"`` for closed-form predictions (see
+        ``repro.estimate``). Estimated results carry synthesized
+        counters and must never be conflated with simulated ones.
     """
 
     config: ArchitectureConfig
@@ -70,6 +75,7 @@ class SimulationResult:
     lifetime: CacheLifetimeReport
     metrics: dict = field(default_factory=dict)
     template: str = "banked"
+    fidelity: str = "simulate"
 
     # ------------------------------------------------------------------
     # Metrics access

@@ -22,7 +22,10 @@ sensibly when absent (older files load unchanged): ``template`` (the
 counter semantics — ``"banked"`` banks or ``"finegrain"`` lines) and
 ``metrics`` (the values computed at write time; registered metrics are
 recomputed on read, stored values only survive for engine payloads no
-registered metric reproduces).
+registered metric reproduces). A third optional key, ``fidelity``,
+tags estimated records (``"estimate"``); it is *omitted* for simulated
+results so simulated record bytes are unchanged from before the
+fidelity tier existed.
 
 Version 1 files (the old lossy summary) still load: the reader migrates
 their config summary into a best-effort v2 payload — geometry and
@@ -111,7 +114,7 @@ def result_to_dict(result: SimulationResult) -> dict:
     from repro.campaign.codec import config_to_dict
 
     bank_stats = result.bank_stats
-    return {
+    payload = {
         "version": FORMAT_VERSION,
         "template": result.template,
         "metrics": {
@@ -142,6 +145,11 @@ def result_to_dict(result: SimulationResult) -> dict:
         "limiting_bank": result.lifetime.limiting_bank,
         "hit_rate": result.hit_rate,
     }
+    if result.fidelity != "simulate":
+        # Simulated payloads stay byte-identical to the pre-fidelity
+        # format; only estimated records carry the tag.
+        payload["fidelity"] = result.fidelity
+    return payload
 
 
 def _upgrade_v1_config(summary: dict) -> dict:
@@ -205,6 +213,9 @@ class ResultRecord:
     #: after the file was written still appear); stored values only
     #: survive for engine payloads no registered metric reproduces.
     stored_metrics: dict | None = None
+    #: Execution fidelity tier; files written by simulation engines
+    #: carry no fidelity key and default to "simulate".
+    fidelity: str = "simulate"
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResultRecord":
@@ -248,6 +259,7 @@ class ResultRecord:
                 limiting_bank=payload["limiting_bank"],
                 hit_rate=payload["hit_rate"],
                 template=str(payload.get("template", "banked")),
+                fidelity=str(payload.get("fidelity", "simulate")),
                 stored_metrics=(
                     dict(payload["metrics"])
                     if isinstance(payload.get("metrics"), dict)
@@ -322,6 +334,7 @@ class ResultRecord:
             lut=lut,
             template=self.template,
             extra_metrics=self.stored_metrics,
+            fidelity=self.fidelity,
         )
 
     def metric(self, name: str, lut=None):

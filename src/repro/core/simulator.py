@@ -59,6 +59,7 @@ def assemble_result(
     lut: LifetimeLUT | None,
     template: str = "banked",
     extra_metrics: dict | None = None,
+    fidelity: str = "simulate",
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult` from measured counters.
 
@@ -74,7 +75,9 @@ def assemble_result(
     ``"finegrain"`` lines — see :mod:`repro.core.metrics`).
     ``extra_metrics`` lets an engine attach payload values the counters
     alone cannot reproduce; registered metrics always win on name
-    clashes, since the counters are the ground truth.
+    clashes, since the counters are the ground truth. ``fidelity``
+    tags the result's execution tier (``"estimate"`` for closed-form
+    predictions whose counters were synthesized, not measured).
     """
     measurement = Measurement(
         config=config,
@@ -106,6 +109,7 @@ def assemble_result(
         lifetime=lifetime,
         metrics=metrics,
         template=template,
+        fidelity=fidelity,
     )
 
 

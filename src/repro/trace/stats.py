@@ -44,6 +44,15 @@ class TraceProfile:
     reuse_distance_median:
         Median number of accesses between consecutive touches of the
         same line (a cheap locality proxy).
+    bank_gap_histograms:
+        Per-bank idle-gap summary: for each bank, a tuple of
+        ``(log2_bucket, count, total_cycles)`` triples — ``count`` gaps
+        with ``2**log2_bucket <= gap < 2**(log2_bucket + 1)`` summing to
+        ``total_cycles``. Gap semantics mirror the idleness accountant
+        (leading, inner and trailing gaps; access cycles are busy), so
+        thresholding the histogram at a breakeven time closely predicts
+        the measured sleepable idleness — the statistic the ``estimate``
+        fidelity tier is built on.
     """
 
     accesses: int
@@ -54,6 +63,58 @@ class TraceProfile:
     bank_shares: tuple[float, ...]
     gap_percentiles: dict[int, float]
     reuse_distance_median: float
+    bank_gap_histograms: tuple[tuple[tuple[int, int, int], ...], ...] = ()
+
+
+def _gap_histogram(gaps: np.ndarray) -> tuple[tuple[int, int, int], ...]:
+    """Bucket positive ``gaps`` by ``floor(log2(gap))``.
+
+    Returns sorted ``(log2_bucket, count, total_cycles)`` triples; the
+    count and the exact cycle mass per bucket together let downstream
+    models evaluate ``sum(max(0, gap - T))`` for any threshold ``T``
+    without keeping the gaps themselves.
+    """
+    gaps = gaps[gaps > 0]
+    if not gaps.size:
+        return ()
+    buckets = np.floor(np.log2(gaps.astype(np.float64))).astype(np.int64)
+    triples = []
+    for bucket in np.unique(buckets):
+        members = buckets == bucket
+        triples.append(
+            (int(bucket), int(members.sum()), int(gaps[members].sum()))
+        )
+    return tuple(triples)
+
+
+def _bank_gap_histograms(
+    cycles: np.ndarray, bank: np.ndarray, horizon: int, num_banks: int
+) -> tuple[tuple[tuple[int, int, int], ...], ...]:
+    """Per-bank idle-gap histograms, mirroring the accountant's gaps.
+
+    Every bank is busy at cycle -1 (warm start, like the accountant) and
+    idle between its own accesses; the window closes at ``horizon``. A
+    bank with no accesses therefore contributes one gap of ``horizon``.
+    """
+    order = np.argsort(bank, kind="stable")
+    sorted_cycles = cycles[order]
+    counts = np.bincount(bank, minlength=num_banks)
+    splits = np.concatenate(([0], np.cumsum(counts)))
+    histograms = []
+    for b in range(num_banks):
+        segment = sorted_cycles[splits[b] : splits[b + 1]]
+        if segment.size == 0:
+            gaps = np.asarray([horizon], dtype=np.int64)
+        else:
+            gaps = np.concatenate(
+                (
+                    np.asarray([int(segment[0])], dtype=np.int64),
+                    np.diff(segment) - 1,
+                    np.asarray([horizon - int(segment[-1]) - 1], dtype=np.int64),
+                )
+            )
+        histograms.append(_gap_histogram(gaps))
+    return tuple(histograms)
 
 
 def profile_trace(trace: Trace, geometry: CacheGeometry, num_banks: int = 4) -> TraceProfile:
@@ -61,6 +122,7 @@ def profile_trace(trace: Trace, geometry: CacheGeometry, num_banks: int = 4) -> 
     if num_banks < 1 or geometry.num_sets % num_banks:
         raise TraceError(f"cannot split {geometry.num_sets} sets into {num_banks} banks")
     if len(trace) == 0:
+        empty = np.empty(0, dtype=np.int64)
         return TraceProfile(
             accesses=0,
             horizon=trace.horizon,
@@ -70,6 +132,9 @@ def profile_trace(trace: Trace, geometry: CacheGeometry, num_banks: int = 4) -> 
             bank_shares=tuple(0.0 for _ in range(num_banks)),
             gap_percentiles={50: 0.0, 90: 0.0, 99: 0.0},
             reuse_distance_median=0.0,
+            bank_gap_histograms=_bank_gap_histograms(
+                empty, empty, trace.horizon, num_banks
+            ),
         )
 
     index = (trace.addresses >> geometry.offset_bits) & mask(geometry.index_bits)
@@ -104,6 +169,9 @@ def profile_trace(trace: Trace, geometry: CacheGeometry, num_banks: int = 4) -> 
         bank_shares=shares,
         gap_percentiles=percentiles,
         reuse_distance_median=reuse_median,
+        bank_gap_histograms=_bank_gap_histograms(
+            trace.cycles, bank, trace.horizon, num_banks
+        ),
     )
 
 

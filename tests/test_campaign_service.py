@@ -582,9 +582,11 @@ class TestStatusJSON:
             "spec_hash": spec.spec_hash(),
             "total": 2,
             "done": 0,
+            "estimated": 0,
             "missing": 2,
             "traces": 1,
             "points_per_trace": 2,
+            "strategy": "exhaustive",
         }
         drain_dir(spec, directory)
         assert main(

@@ -96,9 +96,12 @@ def scratch_registry():
 
 class TestRegistryViews:
     def test_builtins_registered(self):
-        assert engine_names() == ("auto", "compiled", "fast", "finegrain", "reference")
+        assert engine_names() == (
+            "auto", "compiled", "estimate", "fast", "finegrain", "reference"
+        )
         assert [e.name for e in registered_engines()] == [
             "compiled",
+            "estimate",
             "fast",
             "finegrain",
             "reference",

@@ -343,6 +343,20 @@ RULE_FIXTURES = [
         "__all__ = ['compute']\n",
     ),
     (
+        "REPRO015",
+        "estimate/model.py",
+        # Importing the replay machinery would let a tagged "estimate"
+        # secretly replay the trace, voiding the fidelity contract.
+        "from repro.core import fastsim\n"
+        "def predict(trace):\n"
+        "    return fastsim.run(trace)\n",
+        # The sanctioned route: closed-form synthesis through the same
+        # assembly funnel the simulators use.
+        "from repro.core.simulator import assemble_result\n"
+        "def predict(profile):\n"
+        "    return assemble_result\n",
+    ),
+    (
         "REPRO010",
         "campaign/store.py",
         # A connection opened here would be inherited across the work
@@ -400,6 +414,16 @@ class TestRuleFixtures:
         code = "from repro.kernels import _cext\n"
         assert lint_snippet(tmp_path, "kernels/dispatch.py", code, "REPRO009") == []
         assert lint_snippet(tmp_path, "power/idleness.py", code, "REPRO009") != []
+
+    def test_estimator_isolation_scoped_to_estimate_package(self, tmp_path):
+        # The sweep layer legitimately drives the replay engines; only
+        # the estimate tier is barred from them.
+        code = "from repro.core import fastsim\n"
+        assert lint_snippet(tmp_path, "analysis/sweep.py", code, "REPRO015") == []
+        assert lint_snippet(tmp_path, "estimate/engine.py", code, "REPRO015") != []
+        # kernels are off limits however they are spelled
+        relative = "from ..kernels import dispatch\n"
+        assert lint_snippet(tmp_path, "estimate/model.py", relative, "REPRO015") != []
 
     def test_index_module_exempt_from_sqlite_encapsulation(self, tmp_path):
         # The index module is the one sanctioned connect site.

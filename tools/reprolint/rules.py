@@ -1394,6 +1394,73 @@ class ExportIntegrity(Rule):
         return findings
 
 
+class EstimatorIsolation(_ScopedVisitorRule):
+    """REPRO015 — the estimate tier never touches the replay machinery.
+
+    The whole point of ``repro.estimate`` is that its predictions come
+    from closed-form arithmetic over trace *statistics* — if it could
+    call into the replay simulators (``core/fastsim``,
+    ``core/streamsim``) or the compiled counter kernels, an "estimate"
+    could quietly become a disguised simulation and the fidelity tag on
+    its records would stop meaning anything. The estimator reaches
+    simulation results only through the engine registry (validation
+    compares against them — via :mod:`repro.analysis.sweep`, which is
+    fine: that *is* the simulate tier, honestly labeled).
+    """
+
+    rule_id = "REPRO015"
+    title = "repro.estimate must not import replay internals (fastsim/streamsim/kernels)"
+    rationale = (
+        "PR 10: the estimate fidelity tier is closed-form by contract; "
+        "importing the replay machinery would let a tagged estimate "
+        "secretly replay the trace"
+    )
+    scope = ("estimate/*.py",)
+
+    #: Module leaves of ``repro.core`` that constitute trace replay.
+    _REPLAY_LEAVES = frozenset({"fastsim", "streamsim"})
+
+    def _offending(self, dotted: str) -> bool:
+        parts = dotted.split(".")
+        if "kernels" in parts:
+            return True
+        return bool(self._REPLAY_LEAVES & set(parts))
+
+    def visit(self, module: Module, tree: ast.AST, out: list[Finding]) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                offenders = [
+                    alias.name
+                    for alias in node.names
+                    if self._offending(alias.name)
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if self._offending(source):
+                    offenders = [source]
+                else:
+                    # `from repro.core import fastsim` and relative
+                    # spellings (`from ..core import streamsim`).
+                    offenders = [
+                        f"{source}.{alias.name}" if source else alias.name
+                        for alias in node.names
+                        if self._offending(alias.name)
+                    ]
+            else:
+                continue
+            for name in offenders:
+                out.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"estimate tier imports replay machinery {name}; "
+                        "the closed-form model must predict from trace "
+                        "statistics only (REPRO015 keeps the fidelity "
+                        "tag honest)",
+                    )
+                )
+
+
 def _register_builtins() -> None:
     for rule_cls in (
         IntegerCounterPurity,
@@ -1410,6 +1477,7 @@ def _register_builtins() -> None:
         ThreadSharedMutation,
         ResourceHygiene,
         ExportIntegrity,
+        EstimatorIsolation,
     ):
         register_rule(rule_cls(), replace=True)
 
